@@ -1,0 +1,37 @@
+"""EXP-F10 (extension): sporadic arrival jitter.
+
+The sporadic generalisation of the paper's periodic model: online
+policies may only assume the minimum inter-arrival separation, yet
+every longer gap is real slack.  Shape criteria: dynamic savings grow
+with jitter, static stays pinned at the worst-case utilization, the
+arrival-knowing oracle pulls away (quantifying the price of the
+pessimistic view), and deadlines stay hard throughout.
+"""
+
+from repro.experiments.figures import sporadic_sensitivity
+
+
+def test_fig10_sporadic(run_experiment):
+    fig = run_experiment(sporadic_sensitivity)
+
+    for points in fig.series.values():
+        for p in points:
+            assert p.extra["misses"] == 0
+
+    static = {p.x: p.mean for p in fig.series["static"]}
+    lpsta = {p.x: p.mean for p in fig.series["lpSTA"]}
+    oracle = {p.x: p.mean for p in fig.series["clairvoyant"]}
+
+    # Static scaling cannot exploit sporadic gaps (pinned at ~U^2).
+    assert max(static.values()) - min(static.values()) < 0.02
+
+    # The paper's policy converts gaps into savings, monotonically.
+    ordered = [lpsta[x] for x in sorted(lpsta)]
+    assert ordered == sorted(ordered, reverse=True)
+    assert lpsta[2.0] < lpsta[0.0] - 0.1
+
+    # Knowing the actual arrivals is worth a lot: the oracle's lead
+    # over lpSTA grows with jitter.
+    lead_none = lpsta[0.0] - oracle[0.0]
+    lead_max = lpsta[2.0] - oracle[2.0]
+    assert lead_max > lead_none

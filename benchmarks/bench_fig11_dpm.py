@@ -1,0 +1,38 @@
+"""EXP-F11 (extension): dynamic power management of idle time.
+
+Leaky platform, lpSTA + critical-speed floor for the active parts;
+never-sleep vs sleep-on-idle vs procrastination for the idle parts.
+Shape criteria: sleeping pays when wake-ups are cheap, both sleep
+managers decay toward never-sleep as wake-ups get expensive, and
+procrastination (batched episodes) never loses to plain sleep-on-idle.
+Zero misses — the vacation bound is the paper's own slack analysis.
+"""
+
+from repro.experiments.figures import dpm_sensitivity
+
+
+def test_fig11_dpm(run_experiment):
+    fig = run_experiment(dpm_sensitivity)
+
+    for points in fig.series.values():
+        for p in points:
+            assert p.extra["misses"] == 0
+
+    never = {p.x: p.mean for p in fig.series["never-sleep"]}
+    plain = {p.x: p.mean for p in fig.series["sleep-on-idle"]}
+    procr = {p.x: p.mean for p in fig.series["procrastination"]}
+
+    # Never-sleep is flat (it never pays a wake-up).
+    assert max(never.values()) - min(never.values()) < 0.01
+
+    # Cheap wake-ups: sleeping is clearly worth it.
+    assert plain[0.0] < never[0.0] - 0.1
+
+    # Expensive wake-ups: both managers converge to never-sleep.
+    assert plain[10.0] >= never[10.0] - 0.01
+
+    # Procrastination never loses to plain sleep-on-idle, and wins in
+    # the contested middle of the range.
+    for x in plain:
+        assert procr[x] <= plain[x] + 0.005
+    assert procr[2.0] < plain[2.0] - 0.005

@@ -1,0 +1,32 @@
+"""EXP-F12 (extension): partitioned multicore scaling.
+
+Worst-fit-decreasing partitioning + independent per-core DVS-EDF.
+Shape criteria: energy falls superlinearly with cores (convex power
+rewards spreading), lpSTA keeps beating static at every core count,
+and every per-core schedule stays deadline-clean.
+"""
+
+from repro.experiments.figures import multicore_scaling
+
+
+def test_fig12_multicore(run_experiment):
+    fig = run_experiment(multicore_scaling)
+
+    for points in fig.series.values():
+        for p in points:
+            assert p.extra["misses"] == 0
+
+    static = {p.x: p.mean for p in fig.series["static"]}
+    lpsta = {p.x: p.mean for p in fig.series["lpSTA"]}
+
+    # Energy falls monotonically with cores for both policies.
+    for series in (static, lpsta):
+        ordered = [series[x] for x in sorted(series)]
+        assert ordered == sorted(ordered, reverse=True)
+
+    # Superlinear: 2 cores cost less than half of 1 core (cubic power).
+    assert static[2.0] < 0.5 * static[1.0]
+
+    # Dynamic reclaiming keeps its edge on every core count.
+    for x in lpsta:
+        assert lpsta[x] <= static[x] + 1e-9

@@ -1,0 +1,30 @@
+"""EXP-F2: normalized energy vs bc/wc execution-time ratio.
+
+Paper analogue: the workload-variability figure at U = 0.9.  Shape
+criteria: all dynamic policies converge onto statically scaled EDF as
+bc/wc -> 1 (no reclaimable slack left), and savings grow monotonically
+as actual demand falls.
+"""
+
+from repro.experiments.figures import energy_vs_bcwc
+
+
+def test_fig2_energy_vs_bcwc(run_experiment):
+    fig = run_experiment(energy_vs_bcwc)
+
+    for points in fig.series.values():
+        assert all(p.extra["misses"] == 0 for p in points)
+
+    # Monotone: more actual demand -> more energy.
+    for name in ("ccEDF", "DRA", "lpSEH", "lpSTA", "clairvoyant"):
+        means = [p.mean for p in fig.series[name]]
+        assert means == sorted(means), name
+
+    # At bc/wc = 1.0 the slack policies coincide with static EDF.
+    static = fig.value_at("static", 1.0).mean
+    assert abs(fig.value_at("lpSTA", 1.0).mean - static) < 1e-6
+    assert abs(fig.value_at("lpSEH", 1.0).mean - static) < 1e-6
+
+    # At low ratios the dynamic policies are far below static.
+    assert fig.value_at("lpSTA", 0.1).mean < 0.75 * \
+        fig.value_at("static", 0.1).mean

@@ -1,0 +1,24 @@
+"""EXP-F3: normalized energy vs task-set size.
+
+Paper analogue: the robustness figure — savings should be stable (and
+mildly improve) as the same utilization is split over more tasks, since
+more, smaller jobs give the reclaimer finer-grained slack.
+"""
+
+from repro.experiments.figures import energy_vs_ntasks
+
+
+def test_fig3_energy_vs_ntasks(run_experiment):
+    fig = run_experiment(energy_vs_ntasks)
+
+    for points in fig.series.values():
+        assert all(p.extra["misses"] == 0 for p in points)
+
+    # Stability: lpSTA's spread across task counts stays modest.
+    means = [p.mean for p in fig.series["lpSTA"]]
+    assert max(means) - min(means) < 0.25
+
+    # At every size the paper policy beats plain static scaling.
+    for point in fig.series["lpSTA"]:
+        static = fig.value_at("static", point.x).mean
+        assert point.mean < static

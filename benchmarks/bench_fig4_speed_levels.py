@@ -1,0 +1,29 @@
+"""EXP-F4: effect of discrete speed levels.
+
+Paper analogue: the discrete-vs-continuous figure.  Shape criteria:
+fewer levels cost energy (round-up quantization), eight or more levels
+approach the continuous ideal, and deadlines hold at every granularity
+(quantization rounds up, never down).
+"""
+
+from repro.experiments.figures import energy_vs_levels
+
+
+def test_fig4_speed_levels(run_experiment):
+    fig = run_experiment(energy_vs_levels)
+
+    for points in fig.series.values():
+        assert all(p.extra["misses"] == 0 for p in points)
+
+    lp = {p.x: p.mean for p in fig.series["lpSTA"]}
+    continuous = lp.pop(0.0)
+
+    # Continuous is the cheapest configuration.
+    assert all(continuous <= v + 1e-9 for v in lp.values())
+
+    # Two levels are the most expensive discrete configuration.
+    assert lp[2.0] == max(lp.values())
+
+    # >= 8 levels comes within 10% of continuous.
+    assert lp[8.0] <= continuous * 1.10
+    assert lp[16.0] <= continuous * 1.05

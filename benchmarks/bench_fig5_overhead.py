@@ -1,0 +1,29 @@
+"""EXP-F5: transition-overhead sensitivity.
+
+Paper analogue: the speed-switch overhead study.  All policies run
+behind the overhead-aware guard, so deadlines stay hard; as the switch
+window grows the guard vetoes more slowdowns and the savings erode —
+but DVS must keep beating no-DVS, and switch counts must fall.
+"""
+
+from repro.experiments.figures import overhead_sensitivity
+
+
+def test_fig5_overhead(run_experiment):
+    fig = run_experiment(overhead_sensitivity)
+
+    # Hard real-time even with relock windows: zero misses.
+    for points in fig.series.values():
+        assert all(p.extra["misses"] == 0 for p in points)
+
+    lp = {p.x: p for p in fig.series["lpSTA"]}
+
+    # Savings persist under every overhead (still below no-DVS).
+    assert all(p.mean < 1.0 for p in lp.values())
+
+    # The guard reins in switching as overhead grows.
+    assert lp[1.0].extra["mean_switches"] <= \
+        lp[0.0].extra["mean_switches"]
+
+    # Free switching is at least as cheap as the heaviest overhead.
+    assert lp[0.0].mean <= lp[1.0].mean + 0.05

@@ -1,0 +1,36 @@
+"""EXP-F6 (ablation): lpSEH slack-estimate accuracy vs exact analysis.
+
+Quantifies what the O(n) heuristic gives up, per workload family:
+
+* **implicit deadlines** — the heuristic is empirically *exact*: its
+  linear future-demand bound coincides with the true demand at every
+  binding candidate, so lpSEH == lpSTA on the standard workloads;
+* **constrained deadlines** — the unconditional correction term makes
+  the estimate genuinely conservative (it recovers only part of the
+  exact slack), which is where lpSTA's wider exact analysis pays off.
+
+Safety demands the ratio never exceed 1 in either family.
+"""
+
+from repro.experiments.figures import slack_accuracy
+
+
+def test_fig6_slack_accuracy(run_experiment):
+    fig = run_experiment(slack_accuracy)
+
+    implicit = fig.series["implicit"]
+    constrained = fig.series["constrained"]
+    assert implicit and constrained, "missing accuracy samples"
+
+    for p in implicit + constrained:
+        # Safe: never over-estimates.
+        assert p.mean <= 1.0 + 1e-9
+        assert 0.0 <= p.extra["zero_fraction"] <= 1.0
+
+    # Implicit deadlines: empirically exact.
+    for p in implicit:
+        assert p.mean >= 0.999
+
+    # Constrained deadlines: genuinely conservative but still useful.
+    for p in constrained:
+        assert 0.05 <= p.mean <= 0.95

@@ -1,0 +1,23 @@
+"""EXP-F7 (ablation): static-baseline vs greedy full-speed slack.
+
+The design-choice bench DESIGN.md calls out: measuring slack against
+the statically scaled schedule (the paper's formulation) versus against
+full-speed execution (greedy).  Both are safe; convex power should
+punish the greedy slow-then-fast profile at moderate-to-high
+utilization.
+"""
+
+from repro.experiments.figures import baseline_ablation
+
+
+def test_fig7_baseline_ablation(run_experiment):
+    fig = run_experiment(baseline_ablation)
+
+    for x in fig.xs():
+        static = fig.value_at("lpSTA(static)", x).mean
+        greedy = fig.value_at("lpSTA(greedy)", x).mean
+        # The static baseline never loses materially...
+        assert static <= greedy + 0.02
+    # ...and wins clearly at high utilization.
+    assert fig.value_at("lpSTA(static)", 0.9).mean < \
+        fig.value_at("lpSTA(greedy)", 0.9).mean

@@ -1,0 +1,29 @@
+"""EXP-F8 (extension): leakage power and the critical-speed floor.
+
+The leakage-aware-DVS result: with a static power component, plain
+slack-stretching eventually *loses to no-DVS* (it pays leakage over the
+stretched time), while clamping to the critical speed keeps DVS
+profitable.  Shape criteria below.
+"""
+
+from repro.experiments.figures import leakage_sensitivity
+
+
+def test_fig8_leakage(run_experiment):
+    fig = run_experiment(leakage_sensitivity)
+
+    plain = {p.x: p.mean for p in fig.series["lpSTA"]}
+    floored = {p.x: p.mean for p in fig.series["cs-lpSTA"]}
+
+    # Without leakage the floor is inert (critical speed ~ 0).
+    assert abs(plain[0.0] - floored[0.0]) < 1e-6
+
+    # The floor never hurts and strictly helps at high leakage.
+    for rho, value in plain.items():
+        assert floored[rho] <= value + 1e-9
+    assert floored[0.8] < plain[0.8] - 0.1
+
+    # The headline: plain DVS loses to no-DVS at extreme leakage,
+    # the floored variant keeps winning.
+    assert plain[0.8] > 1.0
+    assert floored[0.8] < 1.0

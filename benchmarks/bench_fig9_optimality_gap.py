@@ -1,0 +1,27 @@
+"""EXP-F9 (extension): energy relative to the YDS offline optimum.
+
+Cross-validates the whole stack against an independent optimal
+algorithm: every policy must land at >= 1x the YDS energy, the
+clairvoyant per-dispatch oracle must come within a few percent of it,
+and the paper's online policies must capture most of the headroom.
+"""
+
+from repro.experiments.figures import optimality_gap
+
+
+def test_fig9_optimality_gap(run_experiment):
+    fig = run_experiment(optimality_gap)
+
+    for name, points in fig.series.items():
+        for p in points:
+            # YDS optimality: nobody beats the offline optimum.
+            assert p.mean >= 1.0 - 1e-6, (name, p.x)
+
+    # The per-dispatch oracle is near-optimal (validates both the
+    # oracle and the YDS implementation against each other).
+    for p in fig.series["clairvoyant"]:
+        assert p.mean <= 1.10
+
+    # The paper's online policies capture most of the headroom.
+    for p in fig.series["lpSTA"]:
+        assert p.mean <= 1.60

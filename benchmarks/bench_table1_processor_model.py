@@ -1,0 +1,16 @@
+"""EXP-T1: regenerate the processor-model table.
+
+Paper analogue: the simulation-environment table listing the DVS
+processor's speed/voltage levels.  Here: every named profile with its
+level count, speed floor and power range.
+"""
+
+from repro.experiments.tables import processor_model_table
+
+
+def test_table1_processor_model(run_experiment):
+    table = run_experiment(processor_model_table)
+    profiles = {row["profile"] for row in table.rows}
+    assert {"ideal", "generic4", "xscale", "sa1100", "crusoe"} <= profiles
+    for row in table.rows:
+        assert row["power_at_max"] >= row["power_at_min"]

@@ -1,0 +1,25 @@
+"""EXP-T2: normalized energy on the real-world benchmark suites.
+
+Paper analogue: the per-application results table.  Shape criteria:
+every DVS policy saves energy on every suite, the paper's slack
+policies lead the online field (within tolerance), and the oracle
+floors everything.
+"""
+
+from repro.experiments.tables import realworld_table
+
+
+def test_table2_realworld(run_experiment):
+    table = run_experiment(realworld_table)
+    for row in table.rows:
+        assert row["none"] == 1.0
+        # Every DVS policy saves energy on every suite.
+        for policy in ("static", "ccEDF", "lppsEDF", "DRA", "laEDF",
+                       "lpSEH", "lpSTA", "clairvoyant"):
+            assert row[policy] < 1.0, (row["taskset"], policy)
+        # Dynamic reclaiming beats pure static scaling.
+        assert row["lpSTA"] < row["static"]
+        # The oracle is the floor.
+        best_online = min(row["ccEDF"], row["lppsEDF"], row["DRA"],
+                          row["laEDF"], row["lpSEH"], row["lpSTA"])
+        assert row["clairvoyant"] <= best_online * 1.02

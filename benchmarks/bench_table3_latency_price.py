@@ -1,0 +1,33 @@
+"""EXP-T3 (extension): the response-time price of energy saving.
+
+DVS legitimately trades latency margin for energy — jobs finish later,
+never late.  Shape criteria: the no-DVS row is the 1.0 reference, every
+DVS policy stretches response times, deeper savings cost more latency,
+and no stretch factor is unbounded (deadline ratios cap it).
+"""
+
+from repro.experiments.tables import latency_price_table
+
+
+def test_table3_latency_price(run_experiment):
+    table = run_experiment(latency_price_table)
+    rows = {row["policy"]: row for row in table.rows}
+
+    base = rows["none"]
+    assert base["energy"] == 1.0
+    assert base["mean_resp_x"] == 1.0
+
+    for policy, row in rows.items():
+        if policy == "none":
+            continue
+        # Saving energy means running slower: responses stretch.
+        assert row["mean_resp_x"] >= 1.0
+        assert row["max_resp_x"] >= row["mean_resp_x"] - 1e-9
+        assert row["mean_speed"] <= 1.0
+
+    # The statically scaled run stretches responses by roughly the
+    # inverse speed factor on average.
+    assert 1.2 <= rows["static"]["mean_resp_x"] <= 2.5
+
+    # Deep reclaiming costs more latency than static scaling.
+    assert rows["lpSTA"]["mean_resp_x"] > rows["static"]["mean_resp_x"]

@@ -1,0 +1,31 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table/figure of the reconstructed
+evaluation (DESIGN.md §5) and prints its ASCII rendering, so running
+
+    pytest benchmarks/ --benchmark-only
+
+reproduces the full experiment suite.  Experiments are deterministic
+(seeded), so a single round per benchmark is both sufficient and what
+keeps the suite affordable; pytest-benchmark still reports the
+wall-clock cost of regenerating each artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment driver once under pytest-benchmark and return
+    its FigureData/TableData for shape assertions."""
+
+    def runner(driver, **kwargs):
+        result = benchmark.pedantic(
+            lambda: driver(**kwargs), iterations=1, rounds=1)
+        print()
+        print(result.render())
+        return result
+
+    return runner

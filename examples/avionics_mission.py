@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Avionics mission computer under shifting flight phases.
+
+A 17-task generic-avionics workload whose actual demand moves through
+mission phases: cruise (light), engagement (bursty heavy), return
+(sinusoidal drift).  The phases are modelled with the library's
+execution-time models; the point is that the slack-analysis policies
+keep every hard deadline through abrupt workload shifts — the exact
+property feedback/prediction schemes struggle with — while still
+saving energy in the quiet phases.
+
+Run:  python examples/avionics_mission.py
+"""
+
+from repro import (
+    BimodalExecution,
+    MarkovExecution,
+    SinusoidalExecution,
+    UniformExecution,
+    avionics_taskset,
+    ideal_processor,
+    make_policy,
+    simulate,
+)
+
+PHASES = {
+    "cruise (light, stable)": UniformExecution(low=0.2, high=0.5, seed=31),
+    "engagement (bursty heavy)": BimodalExecution(
+        light=0.3, heavy=1.0, p_heavy=0.6, seed=31),
+    "return (drifting load)": SinusoidalExecution(
+        offset=0.55, amplitude=0.35, cycle=25, jitter=0.05, seed=31),
+    "degraded sensors (markov)": MarkovExecution(
+        light=0.25, heavy=0.95, p_stay=0.92, seed=31),
+}
+
+POLICIES = ("static", "ccEDF", "DRA", "laEDF", "lpSEH", "lpSTA")
+
+
+def main() -> None:
+    taskset = avionics_taskset()
+    processor = ideal_processor()
+    horizon = taskset.hyperperiod()  # 6000 ms
+    print(taskset.describe())
+    print(f"\nhorizon = {horizon:g} ms per phase\n")
+
+    header = f"{'phase':<28}" + "".join(f"{p:>9}" for p in POLICIES)
+    print(header)
+    for phase_name, model in PHASES.items():
+        baseline = simulate(taskset, processor, make_policy("none"),
+                            model, horizon=horizon)
+        cells = []
+        for policy_name in POLICIES:
+            result = simulate(taskset, processor,
+                              make_policy(policy_name), model,
+                              horizon=horizon)
+            assert not result.missed, (
+                f"{policy_name} missed a hard deadline in {phase_name}!")
+            cells.append(result.normalized_energy(baseline))
+        print(f"{phase_name:<28}" + "".join(f"{c:>9.3f}" for c in cells))
+
+    print("\nAll deadlines met in every phase under every policy.")
+    print("Note how the slack policies keep their lead on the bursty "
+          "phases: they\nreclaim per-job earliness with a hard "
+          "guarantee instead of predicting demand.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Battery-powered sensor node: sporadic arrivals + leakage power.
+
+A wireless sensor node runs a sampling loop, an event-driven detection
+task whose activations are sporadic (minimum separation, bursty
+pattern), a radio task with long quiet gaps, and housekeeping.  The
+processor leaks: active power is ``s^3 + 0.3``, so below the critical
+speed stretching wastes energy.
+
+The example shows the two extension mechanisms working together:
+
+* sporadic gaps are harvested as slack by lpSTA even though the policy
+  only ever assumes the minimum separation (hard guarantee preserved);
+* the critical-speed floor keeps the leaky processor out of the
+  counterproductive ultra-slow regime.
+
+Run:  python examples/sensor_node.py
+"""
+
+from repro import (
+    BurstyArrival,
+    ContinuousScale,
+    ExponentialGapArrival,
+    PeriodicArrival,
+    PeriodicTask,
+    PolynomialPowerModel,
+    Processor,
+    TaskSet,
+    UniformExecution,
+    make_policy,
+    simulate,
+)
+
+
+def build_node() -> TaskSet:
+    return TaskSet([
+        PeriodicTask("sample", wcet=2.0, period=10.0),
+        PeriodicTask("detect", wcet=8.0, period=40.0),
+        PeriodicTask("radio", wcet=15.0, period=100.0),
+        PeriodicTask("housekeep", wcet=10.0, period=200.0),
+    ])
+
+
+def main() -> None:
+    taskset = build_node()
+    print(taskset.describe())
+    processor = Processor(
+        scale=ContinuousScale(min_speed=0.05),
+        power_model=PolynomialPowerModel(alpha=3.0, static=0.3),
+        name="leaky-sensor-mcu")
+    critical = processor.power_model.critical_speed()
+    print(f"\nprocessor: P(s) = s^3 + 0.3, critical speed = {critical:.3f}")
+
+    # detect activations are bursty; radio wakeups have long tails.
+    arrival_scenarios = {
+        "strictly periodic": PeriodicArrival(),
+        "sporadic (bursty detect/radio)": None,  # built below per run
+    }
+    model = UniformExecution(low=0.3, high=1.0, seed=11)
+    horizon = 4000.0
+
+    print(f"\n{'scenario':<32} {'policy':<12} {'normalized':>11} "
+          f"{'mean speed':>11}")
+    for scenario in arrival_scenarios:
+        if scenario.startswith("sporadic"):
+            # One shared process object per run keeps arrivals
+            # identical across the compared policies.
+            def arrivals():
+                return BurstyArrival(lull_factor=2.5, p_stay=0.85, seed=11)
+        else:
+            def arrivals():
+                return PeriodicArrival()
+        baseline = simulate(taskset, processor, make_policy("none"),
+                            model, arrival_model=arrivals(),
+                            horizon=horizon)
+        for policy_name, kwargs in (
+                ("static", {}),
+                ("lpSTA", {}),
+                ("lpSTA", {"critical_speed_floor": True})):
+            policy = make_policy(policy_name, **kwargs)
+            result = simulate(taskset, processor, policy, model,
+                              arrival_model=arrivals(), horizon=horizon)
+            assert not result.missed
+            label = policy.name
+            print(f"{scenario:<32} {label:<12} "
+                  f"{result.normalized_energy(baseline):>11.3f} "
+                  f"{result.mean_speed():>11.3f}")
+
+    print("\nTakeaway: with heavy leakage, plain lpSTA stretches into "
+          "the losing regime —\nand sporadic lulls make it *worse* "
+          "(even slower speeds, even more leakage time).\nThe "
+          "critical-speed floor (cs-lpSTA) repairs both scenarios and "
+          "beats static\nscaling, with every hard deadline met under "
+          "the minimum-separation guarantee.")
+
+
+if __name__ == "__main__":
+    main()

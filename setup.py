@@ -1,0 +1,8 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` uses pyproject.toml; this file only enables
+`python setup.py develop` as an offline fallback.
+"""
+from setuptools import setup
+
+setup()

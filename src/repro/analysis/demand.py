@@ -1,0 +1,122 @@
+"""Processor-demand arithmetic for periodic task systems.
+
+The demand bound function (dbf) counts the worst-case work that *must*
+complete inside an interval; EDF feasibility and the online slack-time
+analysis are both built on it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+from repro.types import Time, Work
+
+
+def dbf_task(task: PeriodicTask, interval: Time) -> Work:
+    """Demand bound of one task over a synchronous interval ``[0, L]``.
+
+    ``dbf(L) = max(0, floor((L - D) / T) + 1) * C`` — the number of
+    complete (release, deadline) windows inside ``[0, L]``.
+    """
+    if interval < 0:
+        raise ConfigurationError(f"interval must be >= 0, got {interval}")
+    jobs = math.floor((interval - task.deadline) / task.period) + 1
+    return max(0, jobs) * task.wcet
+
+
+def dbf(taskset: TaskSet | Iterable[PeriodicTask], interval: Time) -> Work:
+    """Total demand bound of a task set over ``[0, L]``."""
+    return sum(dbf_task(task, interval) for task in taskset)
+
+
+def future_demand(task: PeriodicTask, next_release: Time, d: Time) -> Work:
+    """Work of *task*'s future jobs that must finish by absolute time *d*.
+
+    Counts jobs released at ``next_release + k*T`` whose absolute
+    deadline ``release + D`` lands at or before *d*.
+    """
+    span = d - task.deadline - next_release
+    if span < 0:
+        return 0.0
+    return (math.floor(span / task.period) + 1) * task.wcet
+
+
+def future_demand_linear_bound(task: PeriodicTask, next_release: Time,
+                               d: Time) -> Work:
+    """A closed-form over-approximation of :func:`future_demand`.
+
+    ``U_i * (d - nr)+`` plus, for constrained deadlines, the constant
+    correction ``C_i * (T_i - D_i) / T_i`` — provably an upper bound on
+    the true floor-based demand for every *d* (the bound the lpSEH
+    heuristic uses so its slack estimate stays safe).
+    """
+    headroom = d - next_release
+    if headroom <= 0:
+        return 0.0
+    bound = task.utilization * headroom
+    if task.deadline < task.period:
+        bound += task.wcet * (task.period - task.deadline) / task.period
+    return bound
+
+
+def deadlines_within(tasks: Sequence[PeriodicTask],
+                     next_release: Mapping[str, Time],
+                     start: Time, end: Time) -> list[Time]:
+    """All future absolute deadlines in ``(start, end]``, sorted, deduped.
+
+    For each task, enumerates the deadlines of jobs released from its
+    ``next_release`` time onward.
+    """
+    if end < start:
+        return []
+    points: set[Time] = set()
+    for task in tasks:
+        release = next_release[task.name]
+        deadline = release + task.deadline
+        while deadline <= end:
+            if deadline > start:
+                points.add(deadline)
+            release += task.period
+            deadline = release + task.deadline
+    return sorted(points)
+
+
+def busy_window_end(
+    pending_work: Work,
+    tasks: Sequence[PeriodicTask],
+    next_release: Mapping[str, Time],
+    start: Time,
+    cap: Time,
+    tol: float = 1e-9,
+    max_iterations: int = 64,
+) -> Time:
+    """First idle instant of the full-speed schedule starting at *start*.
+
+    Fixed-point iteration on ``L = pending + arrivals(start, start+L)``;
+    returns ``min(fixed point, cap)`` — capping is always safe for the
+    slack analysis because the caller guards the tail with a linear
+    bound.
+    """
+    if pending_work <= tol:
+        return start
+    length = pending_work
+    for _ in range(max_iterations):
+        horizon = start + length
+        # Arrivals strictly inside [start, horizon): releases r with r < horizon.
+        arrivals = 0.0
+        for task in tasks:
+            release = next_release[task.name]
+            if release < horizon - tol:
+                count = math.floor((horizon - tol - release) / task.period) + 1
+                arrivals += count * task.wcet
+        new_length = pending_work + arrivals
+        if new_length > cap - start:
+            return cap
+        if abs(new_length - length) <= tol:
+            return start + new_length
+        length = new_length
+    return min(start + length, cap)

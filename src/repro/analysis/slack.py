@@ -1,0 +1,323 @@
+"""Online slack-time analysis for EDF — the paper's core computation.
+
+At a scheduling point ``t`` the earliest-deadline active job ``J``
+(deadline ``d_J``) may be granted at most
+
+``slack(t) = max(0, min over deadlines d_k >= d_J of (d_k - t - h(t, d_k)))``
+
+extra wall time, where ``h(t, d_k)`` is the *time demand* in
+``[t, d_k]``: the wall time that active jobs with deadline at or before
+``d_k`` plus future job releases with deadlines at or before ``d_k``
+still need under the reference execution speed.  Granting ``J`` up to
+``slack`` extra time delays every later deadline by at most ``slack``,
+which by construction still fits — so re-running the analysis at every
+scheduling point keeps all deadlines (DESIGN.md §4.3).
+
+The reference speed matters enormously for energy:
+
+* **baseline_speed = 1** (the greedy variant): demand is measured
+  against full-speed execution, so the analysis finds *all* the slack
+  in the system and hands it to the current job.  Safe, but convex
+  power punishes the resulting slow-then-fast speed profile.
+* **baseline_speed = S** (the paper's formulation, with ``S`` the
+  statically scaled EDF speed, i.e. the utilization for implicit
+  deadlines): demand is measured against the canonical static-speed
+  schedule — budgets are ``wcet / S`` wall time.  The static schedule
+  is tight (scaled utilization 1), so the only slack the analysis finds
+  is genuine *earliness* from jobs that finished under budget, and
+  speeds stay near ``S`` with dips when slack appears.
+
+Callers pass states already expressed in the reference time base (see
+:func:`SystemState.scaled`); the analysis itself is baseline-agnostic.
+
+Two evaluators:
+
+* :func:`exact_slack` — true demand over every deadline in the capped
+  analysis window via one sorted event walk, with a provably safe
+  linear tail guard beyond the cap.  Backs the ``lpSTA`` policy.
+* :func:`heuristic_slack` — O(n) per call: only active-job deadlines
+  and next release points, with the closed-form linear demand bound.
+  Never exceeds the exact slack (safe).  Backs ``lpSEH``.
+
+Safety of the candidate sets (sketch): with the linear demand bound,
+``g(x) = x - t - h_bar(t, x)`` is piecewise linear with slope
+``1 - sum(started task utilizations) >= 1 - U >= 0`` and downward jumps
+only where an active deadline (budget step) or a task's release point
+(constrained-deadline correction step) enters.  A non-negative-slope
+piecewise-linear function attains its minimum immediately after a
+downward jump, so evaluating exactly there bounds the true minimum
+from below.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.demand import (
+    future_demand,
+    future_demand_linear_bound,
+)
+from repro.errors import ConfigurationError
+from repro.tasks.task import PeriodicTask
+from repro.types import Time, Work
+
+
+@dataclass(frozen=True)
+class ActiveJob:
+    """The slice of job state the analysis needs: (deadline, budget).
+
+    ``remaining_wcet`` is expressed in the caller's reference time base
+    (wall time the budget needs at the baseline speed).
+    """
+
+    deadline: Time
+    remaining_wcet: Work
+
+    def __post_init__(self) -> None:
+        if self.remaining_wcet < 0:
+            raise ConfigurationError(
+                f"remaining_wcet must be >= 0, got {self.remaining_wcet}")
+
+
+@dataclass(frozen=True)
+class SystemState:
+    """A snapshot of the schedule at one scheduling point.
+
+    Attributes
+    ----------
+    time:
+        Current time ``t``.
+    active:
+        All incomplete released jobs, *including* the one being
+        dispatched (which must have the earliest deadline; ties
+        allowed).  Budgets in the reference time base.
+    tasks:
+        The full task set, with WCETs in the reference time base
+        (future arrivals come from here).
+    next_release:
+        For each task name, the first strictly-future release time.
+    """
+
+    time: Time
+    active: tuple[ActiveJob, ...]
+    tasks: tuple[PeriodicTask, ...]
+    next_release: Mapping[str, Time]
+
+    @classmethod
+    def build(cls, time: Time, active: Sequence[ActiveJob],
+              tasks: Sequence[PeriodicTask],
+              next_release: Mapping[str, Time]) -> "SystemState":
+        for task in tasks:
+            if task.name not in next_release:
+                raise ConfigurationError(
+                    f"next_release missing task {task.name!r}")
+            if next_release[task.name] < time - 1e-9:
+                raise ConfigurationError(
+                    f"next_release[{task.name!r}]={next_release[task.name]} "
+                    f"is in the past (t={time})")
+        return cls(time=time, active=tuple(active), tasks=tuple(tasks),
+                   next_release=dict(next_release))
+
+    @property
+    def earliest_deadline(self) -> Time:
+        if not self.active:
+            raise ConfigurationError("no active jobs in state")
+        return min(job.deadline for job in self.active)
+
+    @property
+    def pending_work(self) -> Work:
+        return sum(job.remaining_wcet for job in self.active)
+
+    def utilization(self) -> float:
+        return sum(task.utilization for task in self.tasks)
+
+
+def scale_tasks(tasks: Sequence[PeriodicTask],
+                baseline_speed: float) -> tuple[PeriodicTask, ...]:
+    """Re-express task WCETs as wall time at *baseline_speed*.
+
+    Raises :class:`ConfigurationError` when a scaled WCET no longer fits
+    its deadline — i.e. the baseline speed is below the task set's
+    minimum feasible constant speed.
+    """
+    if not (0.0 < baseline_speed <= 1.0):
+        raise ConfigurationError(
+            f"baseline_speed must be in (0, 1], got {baseline_speed}")
+    return tuple(task.scaled(1.0 / baseline_speed) for task in tasks)
+
+
+def demand(state: SystemState, d: Time) -> Work:
+    """Exact time demand ``h(t, d)`` in the state's reference base."""
+    total = sum(job.remaining_wcet for job in state.active
+                if job.deadline <= d + 1e-12)
+    for task in state.tasks:
+        total += future_demand(task, state.next_release[task.name], d)
+    return total
+
+
+def demand_linear_bound(state: SystemState, d: Time) -> Work:
+    """Over-approximate demand ``h_bar(t, d)`` using the linear bound."""
+    total = sum(job.remaining_wcet for job in state.active
+                if job.deadline <= d + 1e-12)
+    for task in state.tasks:
+        total += future_demand_linear_bound(
+            task, state.next_release[task.name], d)
+    return total
+
+
+def _tail_guard(state: SystemState, window_end: Time) -> float:
+    """Safe lower bound on ``g(x)`` for every ``x >= window_end``.
+
+    Uses the continuous linear demand bound with every active budget
+    and every constrained-deadline correction charged unconditionally;
+    the resulting function has slope ``1 - U >= 0`` (for feasible
+    reference bases) so its minimum over the tail is at *window_end*.
+    """
+    total = sum(job.remaining_wcet for job in state.active)
+    for task in state.tasks:
+        release = state.next_release[task.name]
+        total += task.utilization * max(0.0, window_end - release)
+        if task.deadline < task.period:
+            total += task.wcet * (task.period - task.deadline) / task.period
+    return window_end - state.time - total
+
+
+def exact_slack(state: SystemState, *,
+                window_cap_periods: float | None = None,
+                earliest_candidate: Time | None = None) -> Time:
+    """Exact-within-window slack available at *state*.
+
+    Walks every deadline in ``(t, window_end]`` once, accumulating
+    demand incrementally — active budgets step in at their deadlines,
+    each future job contributes its WCET at its own deadline — and
+    takes ``min(d_k - t - h)`` over candidates at or after the earliest
+    active deadline.  The linear tail guard covers deadlines beyond the
+    window, so the result is always a safe lower bound on the true
+    infinite-horizon slack.
+
+    The default window ends at the latest *active* deadline: beyond it
+    the linear-bound function ``g_bar`` has no further downward jumps
+    from active budgets and slope ``1 - U >= 0``, so its value at the
+    window edge bounds the whole tail — which makes the default both
+    cheap (O(jobs within one max-period)) and near-exact (the only
+    approximation left is linear-vs-floor future demand at the edge).
+    Pass ``window_cap_periods`` to widen the exact walk to
+    ``t + cap * max_period`` for even tighter tails.
+
+    ``earliest_candidate`` selects which deadlines constrain the
+    grantee.  The default (the earliest active deadline) is correct for
+    a *dispatch*: the running job has the earliest deadline and EDF
+    still preempts it for any earlier-deadline arrival, so those
+    arrivals are not delayed.  A *processor vacation* (sleeping through
+    arrivals — see :mod:`repro.policies.procrastination`) delays
+    everything, so it must pass ``earliest_candidate=state.time`` to
+    constrain against every future deadline.
+    """
+    if not state.active:
+        raise ConfigurationError("slack analysis requires an active job")
+    t = state.time
+    d_first = (earliest_candidate if earliest_candidate is not None
+               else state.earliest_deadline)
+    latest_active = max(job.deadline for job in state.active)
+    window_end = latest_active
+    if window_cap_periods is not None:
+        max_period = max(task.period for task in state.tasks)
+        window_end = max(latest_active,
+                         t + window_cap_periods * max_period)
+
+    # Demand events: (deadline, work step).  Every future job of a task
+    # contributes exactly one event at its own absolute deadline.
+    events: list[tuple[Time, Work]] = [
+        (job.deadline, job.remaining_wcet) for job in state.active]
+    for task in state.tasks:
+        deadline = state.next_release[task.name] + task.deadline
+        while deadline <= window_end + 1e-12:
+            events.append((deadline, task.wcet))
+            deadline += task.period
+    events.sort(key=lambda e: e[0])
+
+    best = math.inf
+    h = 0.0
+    i = 0
+    n = len(events)
+    while i < n:
+        d_k = events[i][0]
+        # Fold in every event at this deadline before evaluating.
+        while i < n and events[i][0] <= d_k + 1e-12:
+            h += events[i][1]
+            i += 1
+        if d_k >= d_first - 1e-12:
+            g = d_k - t - h
+            if g < best:
+                best = g
+    best = min(best, _tail_guard(state, window_end))
+    return max(0.0, best)
+
+
+def heuristic_slack(state: SystemState) -> Time:
+    """O(n) conservative slack estimate (the lpSEH computation).
+
+    Candidate points: the active jobs' deadlines and each task's next
+    release time (where the constrained-deadline correction step
+    lands), restricted to ``>= d_J``; demand uses the linear
+    over-approximation throughout.  Always ``<= exact_slack(state)``.
+    """
+    if not state.active:
+        raise ConfigurationError("slack analysis requires an active job")
+    t = state.time
+    d_first = state.earliest_deadline
+    candidates = {job.deadline for job in state.active}
+    for task in state.tasks:
+        release = state.next_release[task.name]
+        if release >= d_first:
+            candidates.add(release)
+    candidates.add(d_first)
+    best = math.inf
+    for d_k in candidates:
+        if d_k < d_first - 1e-12:
+            continue
+        g = d_k - t - demand_linear_bound(state, d_k)
+        if g < best:
+            best = g
+    return max(0.0, best)
+
+
+def stretch_speed(remaining_wcet: Work, slack: Time,
+                  min_speed: float = 0.0) -> float:
+    """The minimum constant speed that fits *remaining_wcet* (max-speed
+    units of work) into ``remaining_wcet + slack`` wall time.
+
+    Degenerate inputs (zero budget) return *min_speed* — there is
+    nothing left to run so any attainable speed is fine.
+    """
+    if slack < 0:
+        raise ConfigurationError(f"slack must be >= 0, got {slack}")
+    if remaining_wcet <= 0:
+        return max(min_speed, 0.0)
+    return max(min_speed, remaining_wcet / (remaining_wcet + slack))
+
+
+def allotted_speed(remaining_work: Work, baseline_speed: float,
+                   slack: Time, min_speed: float = 0.0) -> float:
+    """Speed that spreads *remaining_work* over its scaled budget + slack.
+
+    The paper's dispatch rule under a static baseline ``S``: the job's
+    canonical allotment is ``remaining_work / S`` wall time; with
+    *slack* extra time granted the required speed is
+
+    ``remaining_work / (remaining_work / S + slack)``
+
+    which is at most ``S`` and degrades gracefully to ``S`` when no
+    slack exists.
+    """
+    if not (0.0 < baseline_speed <= 1.0):
+        raise ConfigurationError(
+            f"baseline_speed must be in (0, 1], got {baseline_speed}")
+    if slack < 0:
+        raise ConfigurationError(f"slack must be >= 0, got {slack}")
+    if remaining_work <= 0:
+        return max(min_speed, 0.0)
+    allotment = remaining_work / baseline_speed + slack
+    return max(min_speed, remaining_work / allotment)

@@ -1,0 +1,68 @@
+"""Small statistics helpers for experiment aggregation.
+
+Kept dependency-light (plain math + numpy) so the experiment harness
+can report means with confidence intervals without dragging scipy into
+the core library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Two-sided 95% normal quantile; for the sample counts the harness
+#: uses (>= 10 task sets per point) the normal approximation is fine.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with spread for one experiment cell."""
+
+    mean: float
+    std: float
+    count: int
+    ci95: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.ci95:.4f} (n={self.count})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean, sample std, 95% CI half-width and range of *values*."""
+    if not values:
+        raise ConfigurationError("cannot summarize an empty sample")
+    array = np.asarray(values, dtype=float)
+    mean = float(array.mean())
+    if array.size > 1:
+        std = float(array.std(ddof=1))
+        ci95 = _Z95 * std / math.sqrt(array.size)
+    else:
+        std = 0.0
+        ci95 = 0.0
+    return Summary(mean=mean, std=std, count=int(array.size), ci95=ci95,
+                   minimum=float(array.min()), maximum=float(array.max()))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (all values must be > 0)."""
+    if not values:
+        raise ConfigurationError("cannot average an empty sample")
+    array = np.asarray(values, dtype=float)
+    if np.any(array <= 0):
+        raise ConfigurationError("geometric mean requires positive values")
+    return float(np.exp(np.log(array).mean()))
+
+
+def relative_change(new: float, baseline: float) -> float:
+    """Fractional change of *new* versus *baseline* (negative = saving)."""
+    if baseline == 0:
+        raise ConfigurationError("baseline is zero")
+    return (new - baseline) / baseline

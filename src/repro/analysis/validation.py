@@ -1,0 +1,143 @@
+"""Trace validation: structural and semantic invariants of a run.
+
+The engine is trusted but verified: tests (and paranoid users) replay a
+recorded trace against the task set and processor and confirm that
+
+* segments tile the timeline without overlaps,
+* every speed used was attainable on the processor's scale,
+* each job executed between its release and its completion,
+* retired work (speed x duration) matches each job's demand,
+* every job completed by its deadline,
+* and energy totals match the power model.
+
+Failures raise :class:`TraceValidationError` with a precise message.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.cpu.processor import Processor
+from repro.errors import TraceValidationError
+from repro.sim.results import SimulationResult
+from repro.sim.tracing import SegmentKind, TraceRecorder
+from repro.tasks.arrivals import ArrivalModel, PeriodicArrival
+from repro.tasks.execution import ExecutionModel
+from repro.tasks.taskset import TaskSet
+
+#: Work/energy tolerance scale for float accumulation over a run.
+_TOL = 1e-6
+
+
+def validate_structure(trace: TraceRecorder) -> None:
+    """Segments must be ordered, non-overlapping and non-negative."""
+    previous_end = None
+    for seg in trace:
+        if seg.duration < -_TOL:
+            raise TraceValidationError(
+                f"segment with negative duration: [{seg.start}, {seg.end}]")
+        if previous_end is not None and seg.start < previous_end - _TOL:
+            raise TraceValidationError(
+                f"segment starting at {seg.start} overlaps previous end "
+                f"{previous_end}")
+        previous_end = seg.end
+
+
+def validate_speeds(trace: TraceRecorder, processor: Processor) -> None:
+    """Every RUN segment must use an attainable speed."""
+    for seg in trace:
+        if seg.kind != SegmentKind.RUN:
+            continue
+        if not processor.scale.is_attainable(seg.speed, tol=1e-6):
+            raise TraceValidationError(
+                f"segment [{seg.start}, {seg.end}] runs {seg.job} at "
+                f"unattainable speed {seg.speed}")
+
+
+def validate_jobs(trace: TraceRecorder, taskset: TaskSet,
+                  execution_model: ExecutionModel,
+                  horizon: float,
+                  arrival_model: ArrivalModel | None = None) -> None:
+    """Per-job work conservation, window containment and deadlines."""
+    arrival_model = arrival_model or PeriodicArrival()
+    executed: dict[str, float] = defaultdict(float)
+    window: dict[str, tuple[float, float]] = {}
+    for seg in trace:
+        if seg.kind != SegmentKind.RUN:
+            continue
+        if seg.job is None or seg.task is None:
+            raise TraceValidationError(
+                f"RUN segment [{seg.start}, {seg.end}] lacks a job label")
+        executed[seg.job] += seg.speed * seg.duration
+        lo, hi = window.get(seg.job, (seg.start, seg.end))
+        window[seg.job] = (min(lo, seg.start), max(hi, seg.end))
+
+    for job_name, work in executed.items():
+        task_name, _, index_str = job_name.partition("#")
+        if task_name not in taskset:
+            raise TraceValidationError(
+                f"trace references unknown task {task_name!r}")
+        task = taskset[task_name]
+        index = int(index_str)
+        release = arrival_model.arrival_time(task, index)
+        deadline = release + task.deadline
+        demand = execution_model.work(task, index)
+        start, end = window[job_name]
+        if start < release - _TOL:
+            raise TraceValidationError(
+                f"job {job_name} executed at {start} before its release "
+                f"{release}")
+        tolerance = _TOL * max(1.0, demand)
+        if work > demand + tolerance:
+            raise TraceValidationError(
+                f"job {job_name} retired {work} work, more than its "
+                f"demand {demand}")
+        finished = work >= demand - tolerance
+        if finished and end > deadline + _TOL:
+            raise TraceValidationError(
+                f"job {job_name} finished at {end}, after its deadline "
+                f"{deadline}")
+        if not finished and deadline <= horizon + _TOL:
+            raise TraceValidationError(
+                f"job {job_name} only retired {work} of {demand} work "
+                f"by the horizon but its deadline {deadline} is inside "
+                f"the simulation")
+
+
+def validate_energy(trace: TraceRecorder, processor: Processor,
+                    result: SimulationResult) -> None:
+    """Trace energy must re-derive from the power model and totals."""
+    busy = idle = 0.0
+    for seg in trace:
+        if seg.kind == SegmentKind.RUN:
+            expected = processor.active_energy(seg.speed, seg.duration)
+            if abs(expected - seg.energy) > _TOL * max(1.0, expected):
+                raise TraceValidationError(
+                    f"segment [{seg.start}, {seg.end}]: recorded energy "
+                    f"{seg.energy} != model energy {expected}")
+            busy += seg.energy
+        elif seg.kind == SegmentKind.IDLE:
+            idle += seg.energy
+    if abs(busy - result.busy_energy) > _TOL * max(1.0, busy):
+        raise TraceValidationError(
+            f"trace busy energy {busy} != result busy energy "
+            f"{result.busy_energy}")
+    if abs(idle - result.idle_energy) > _TOL * max(1.0, idle):
+        raise TraceValidationError(
+            f"trace idle energy {idle} != result idle energy "
+            f"{result.idle_energy}")
+
+
+def validate_run(result: SimulationResult, taskset: TaskSet,
+                 processor: Processor,
+                 execution_model: ExecutionModel,
+                 arrival_model: ArrivalModel | None = None) -> None:
+    """Run every validator against a result that recorded its trace."""
+    if result.trace is None:
+        raise TraceValidationError(
+            "result has no trace; run with record_trace=True")
+    validate_structure(result.trace)
+    validate_speeds(result.trace, processor)
+    validate_jobs(result.trace, taskset, execution_model, result.horizon,
+                  arrival_model)
+    validate_energy(result.trace, processor, result)

@@ -1,0 +1,236 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
+
+Commands
+--------
+``list``
+    Show available policies, processor profiles, benchmarks and
+    experiments.
+``run``
+    Run one experiment (``table1`` .. ``table3``, ``fig1`` .. ``fig12``
+    or ``all``), print the ASCII rendering and optionally export
+    CSV/JSON.
+``simulate``
+    One ad-hoc simulation: a benchmark or generated task set under one
+    policy, with arrival/idle/wrapper knobs, a summary and an optional
+    Gantt strip.
+``report``
+    Fold a directory of exported JSON results into one markdown report.
+``diff``
+    Compare two exported result sets cell by cell (regression check;
+    exits non-zero when anything drifted).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cpu.profiles import PROCESSOR_PROFILES, load_profile
+from repro.experiments.figures import FIGURES
+from repro.experiments.io import write_csv, write_json
+from repro.experiments.tables import TABLES
+from repro.policies.registry import ALL_POLICY_NAMES, make_policy
+from repro.sim.engine import simulate
+from repro.tasks.benchmarks import BENCHMARK_TASKSETS, load_benchmark
+from repro.tasks.execution import model_for_bcwc_ratio
+from repro.tasks.generators import generate_taskset
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("policies:      ", ", ".join(ALL_POLICY_NAMES))
+    print("processors:    ", ", ".join(PROCESSOR_PROFILES))
+    print("benchmarks:    ", ", ".join(BENCHMARK_TASKSETS))
+    print("experiments:   ", ", ".join(list(TABLES) + list(FIGURES)))
+    return 0
+
+
+def _export(data, out_dir: str | None) -> None:
+    if out_dir is None:
+        return
+    base = Path(out_dir) / data.experiment_id.lower().replace("-", "_")
+    csv_path = write_csv(data, base.with_suffix(".csv"))
+    json_path = write_json(data, base.with_suffix(".json"))
+    print(f"  exported {csv_path} and {json_path}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list(TABLES) + list(FIGURES) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        started = time.time()
+        if name in TABLES:
+            driver = TABLES[name]
+            try:
+                data = driver(quick=args.quick)
+            except TypeError:
+                data = driver()
+        elif name in FIGURES:
+            data = FIGURES[name](quick=args.quick)
+        else:
+            known = ", ".join(list(TABLES) + list(FIGURES) + ["all"])
+            print(f"unknown experiment {name!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+        print(data.render())
+        if args.chart and hasattr(data, "render_chart"):
+            print(data.render_chart())
+        print(f"  ({time.time() - started:.1f}s)")
+        _export(data, args.out)
+        print()
+    return 0
+
+
+def _make_arrival_model(args: argparse.Namespace):
+    from repro.tasks.arrivals import (
+        BurstyArrival,
+        ExponentialGapArrival,
+        PeriodicArrival,
+        UniformJitterArrival,
+    )
+    if args.arrivals == "periodic":
+        return PeriodicArrival()
+    if args.arrivals == "jitter":
+        return UniformJitterArrival(jitter=args.jitter, seed=args.seed)
+    if args.arrivals == "exponential":
+        return ExponentialGapArrival(mean_extra=args.jitter,
+                                     seed=args.seed)
+    return BurstyArrival(seed=args.seed)
+
+
+def _make_idle_policy(args: argparse.Namespace):
+    from repro.policies.procrastination import (
+        ProcrastinationIdlePolicy,
+        SleepOnIdlePolicy,
+    )
+    if args.idle == "default":
+        return None
+    if args.idle == "sleep":
+        return SleepOnIdlePolicy()
+    return ProcrastinationIdlePolicy()
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.benchmark:
+        taskset = load_benchmark(args.benchmark)
+    else:
+        taskset = generate_taskset(
+            args.tasks, args.utilization, np.random.default_rng(args.seed))
+    processor = load_profile(args.processor)
+    model = model_for_bcwc_ratio(args.bcwc, seed=args.seed)
+    policy = make_policy(args.policy,
+                         overhead_aware=args.overhead_aware,
+                         critical_speed_floor=args.critical_speed)
+    horizon = args.horizon or taskset.default_horizon(
+        min_jobs_per_task=10, max_hyperperiods=1)
+    result = simulate(taskset, processor, policy, model,
+                      arrival_model=_make_arrival_model(args),
+                      idle_policy=_make_idle_policy(args),
+                      horizon=horizon, record_trace=args.gantt)
+    print(taskset.describe())
+    print(processor.describe())
+    print(result.summary())
+    if args.gantt and result.trace is not None:
+        print("gantt:", result.trace.render_gantt(width=100, end=horizon))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report, write_report
+    if args.out:
+        path = write_report(args.results, args.out, title=args.title)
+        print(f"wrote {path}")
+    else:
+        print(build_report(args.results, title=args.title))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.experiments.regression import diff_results, render_drifts
+    drifts = diff_results(args.before, args.after, rel_tol=args.rel_tol)
+    print(render_drifts(drifts))
+    return 1 if drifts else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DVS-EDF slack-time-analysis simulator (DATE 2002 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show available components")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run a reproduced experiment")
+    p_run.add_argument("experiment",
+                       help="table1..table3, fig1..fig12, or all")
+    p_run.add_argument("--quick", action="store_true",
+                       help="shrunken sweeps for a fast smoke run")
+    p_run.add_argument("--out", default=None,
+                       help="directory for CSV/JSON export")
+    p_run.add_argument("--chart", action="store_true",
+                       help="also draw an ASCII chart for figures")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sim = sub.add_parser("simulate", help="one ad-hoc simulation")
+    p_sim.add_argument("--policy", default="lpSTA",
+                       choices=ALL_POLICY_NAMES)
+    p_sim.add_argument("--benchmark", default=None,
+                       choices=sorted(BENCHMARK_TASKSETS))
+    p_sim.add_argument("--tasks", type=int, default=5)
+    p_sim.add_argument("--utilization", type=float, default=0.8)
+    p_sim.add_argument("--bcwc", type=float, default=0.5,
+                       help="best-case/worst-case execution ratio")
+    p_sim.add_argument("--processor", default="ideal",
+                       choices=sorted(PROCESSOR_PROFILES))
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument("--horizon", type=float, default=None)
+    p_sim.add_argument("--overhead-aware", action="store_true")
+    p_sim.add_argument("--critical-speed", action="store_true",
+                       help="clamp to the leakage-aware critical speed")
+    p_sim.add_argument("--arrivals", default="periodic",
+                       choices=("periodic", "jitter", "exponential",
+                                "bursty"),
+                       help="arrival process (sporadic variants respect "
+                            "the minimum separation)")
+    p_sim.add_argument("--jitter", type=float, default=0.5,
+                       help="jitter/extra-gap parameter for sporadic "
+                            "arrival processes")
+    p_sim.add_argument("--idle", default="default",
+                       choices=("default", "sleep", "procrastinate"),
+                       help="idle-time management")
+    p_sim.add_argument("--gantt", action="store_true",
+                       help="print an ASCII Gantt strip")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_rep = sub.add_parser("report",
+                           help="build a markdown report from exported "
+                                "results")
+    p_rep.add_argument("results", help="directory of JSON exports")
+    p_rep.add_argument("--out", default=None,
+                       help="write to this file instead of stdout")
+    p_rep.add_argument("--title", default=None)
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_diff = sub.add_parser("diff",
+                            help="compare two exported result sets")
+    p_diff.add_argument("before", help="baseline results directory")
+    p_diff.add_argument("after", help="candidate results directory")
+    p_diff.add_argument("--rel-tol", type=float, default=1e-6)
+    p_diff.set_defaults(func=_cmd_diff)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

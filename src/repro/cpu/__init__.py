@@ -1,0 +1,57 @@
+"""Processor models: speed scales, power, transition overheads, profiles."""
+
+from repro.cpu.speed import (
+    SpeedScale,
+    ContinuousScale,
+    DiscreteScale,
+    uniform_levels,
+)
+from repro.cpu.power import (
+    PowerModel,
+    PolynomialPowerModel,
+    CmosPowerModel,
+    TablePowerModel,
+    OperatingPoint,
+)
+from repro.cpu.transition import (
+    TransitionModel,
+    NoOverhead,
+    ConstantOverhead,
+    VoltageSwitchOverhead,
+)
+from repro.cpu.processor import Processor
+from repro.cpu.profiles import (
+    ideal_processor,
+    generic4_processor,
+    xscale_processor,
+    sa1100_processor,
+    crusoe_processor,
+    uniform_discrete_processor,
+    load_profile,
+    PROCESSOR_PROFILES,
+)
+
+__all__ = [
+    "SpeedScale",
+    "ContinuousScale",
+    "DiscreteScale",
+    "uniform_levels",
+    "PowerModel",
+    "PolynomialPowerModel",
+    "CmosPowerModel",
+    "TablePowerModel",
+    "OperatingPoint",
+    "TransitionModel",
+    "NoOverhead",
+    "ConstantOverhead",
+    "VoltageSwitchOverhead",
+    "Processor",
+    "ideal_processor",
+    "generic4_processor",
+    "xscale_processor",
+    "sa1100_processor",
+    "crusoe_processor",
+    "uniform_discrete_processor",
+    "load_profile",
+    "PROCESSOR_PROFILES",
+]

@@ -1,0 +1,225 @@
+"""Processor power models.
+
+Dynamic CMOS power is ``P = C_eff * V^2 * f`` and the attainable clock
+frequency scales (to first order) with the supply voltage, so power is
+a convex, superlinear function of normalised speed.  Three
+parameterisations cover the literature:
+
+* :class:`PolynomialPowerModel` — ``P(s) = s**alpha`` with ``alpha≈3``,
+  the analytic workhorse;
+* :class:`CmosPowerModel` — an explicit frequency/voltage operating-point
+  table evaluated through ``C_eff * V^2 * f`` (what the era's simulation
+  sections tabulate);
+* :class:`TablePowerModel` — direct measured (speed, power) points with
+  interpolation.
+
+All powers are in arbitrary-but-consistent units; experiments only ever
+report energies normalised to a max-speed baseline.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.types import Energy, Speed
+
+
+class PowerModel(ABC):
+    """Maps a normalised speed to active power draw."""
+
+    @abstractmethod
+    def power(self, speed: Speed) -> float:
+        """Active power at *speed* (speed in ``(0, 1]``)."""
+
+    def energy(self, speed: Speed, duration: float) -> Energy:
+        """Energy of running at *speed* for *duration* time units."""
+        if duration < 0:
+            raise ConfigurationError(f"duration must be >= 0, got {duration}")
+        return self.power(speed) * duration
+
+    def voltage(self, speed: Speed) -> float:
+        """Supply voltage at *speed*, when the model defines one.
+
+        The default assumes voltage proportional to speed (normalised
+        to 1.0 at full speed), which is what the polynomial model
+        implies; table-driven models override this.
+        """
+        self._check_speed(speed)
+        return speed
+
+    @staticmethod
+    def _check_speed(speed: Speed) -> None:
+        if not (0.0 < speed <= 1.0 + 1e-9):
+            raise ConfigurationError(
+                f"speed must be in (0, 1], got {speed}")
+
+    def critical_speed(self, low: Speed = 1e-3, samples: int = 2000) -> Speed:
+        """The speed minimising energy *per unit of work*.
+
+        With purely dynamic power the minimum is at the lowest speed
+        (slower is always cheaper per cycle), but any static/leakage
+        component creates a critical speed below which stretching work
+        wastes energy.  Found numerically: ``argmin P(s) / s`` over a
+        dense grid of ``(low, 1]`` — power models here are cheap and
+        unimodal enough that a grid beats bespoke calculus per model.
+        """
+        best_speed = 1.0
+        best_cost = self.power(1.0)
+        for i in range(samples):
+            s = low + (1.0 - low) * i / (samples - 1)
+            cost = self.power(s) / s
+            if cost < best_cost - 1e-15:
+                best_cost = cost
+                best_speed = s
+        return best_speed
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class PolynomialPowerModel(PowerModel):
+    """``P(s) = dynamic * s**alpha + static`` (normalised units).
+
+    ``alpha = 3`` is the classic ``f * V^2`` model with ``V`` tracking
+    ``f``; ``static`` adds a speed-independent leakage floor that is
+    paid whenever the processor is active.
+    """
+
+    def __init__(self, alpha: float = 3.0, dynamic: float = 1.0,
+                 static: float = 0.0) -> None:
+        if alpha < 1.0:
+            raise ConfigurationError(
+                f"alpha must be >= 1 for a physical DVS model, got {alpha}")
+        if dynamic <= 0:
+            raise ConfigurationError(f"dynamic must be > 0, got {dynamic}")
+        if static < 0:
+            raise ConfigurationError(f"static must be >= 0, got {static}")
+        self.alpha = float(alpha)
+        self.dynamic = float(dynamic)
+        self.static = float(static)
+
+    def power(self, speed: Speed) -> float:
+        self._check_speed(speed)
+        return self.dynamic * speed ** self.alpha + self.static
+
+    def describe(self) -> str:
+        return f"P(s) = {self.dynamic:g}*s^{self.alpha:g} + {self.static:g}"
+
+
+class OperatingPoint:
+    """One (frequency, voltage) pair of a DVS-capable processor."""
+
+    __slots__ = ("frequency", "voltage")
+
+    def __init__(self, frequency: float, voltage: float) -> None:
+        if frequency <= 0 or voltage <= 0:
+            raise ConfigurationError(
+                f"frequency and voltage must be > 0, got "
+                f"({frequency}, {voltage})")
+        self.frequency = float(frequency)
+        self.voltage = float(voltage)
+
+    def __repr__(self) -> str:
+        return f"OperatingPoint(f={self.frequency:g}, V={self.voltage:g})"
+
+
+class CmosPowerModel(PowerModel):
+    """Power from an explicit frequency/voltage table.
+
+    ``P(s) = c_eff * V(s)^2 * f(s)`` where the operating point is the
+    table entry whose normalised frequency matches *s* (voltage is
+    linearly interpolated between entries for continuous scales).
+    """
+
+    def __init__(self, points: Sequence[OperatingPoint],
+                 c_eff: float = 1.0) -> None:
+        if not points:
+            raise ConfigurationError("need at least one operating point")
+        if c_eff <= 0:
+            raise ConfigurationError(f"c_eff must be > 0, got {c_eff}")
+        ordered = sorted(points, key=lambda p: p.frequency)
+        for a, b in zip(ordered, ordered[1:]):
+            if math.isclose(a.frequency, b.frequency):
+                raise ConfigurationError(
+                    f"duplicate frequency {a.frequency}")
+            if b.voltage < a.voltage:
+                raise ConfigurationError(
+                    "voltage must be non-decreasing in frequency")
+        self.points = tuple(ordered)
+        self.c_eff = float(c_eff)
+        self.f_max = ordered[-1].frequency
+        self._speeds = tuple(p.frequency / self.f_max for p in ordered)
+
+    @property
+    def speeds(self) -> tuple[Speed, ...]:
+        """Normalised speeds of the table's operating points."""
+        return self._speeds
+
+    def voltage(self, speed: Speed) -> float:
+        """Supply voltage at *speed* (linear interpolation between rows)."""
+        self._check_speed(speed)
+        speeds = self._speeds
+        if speed <= speeds[0]:
+            return self.points[0].voltage
+        if speed >= speeds[-1]:
+            return self.points[-1].voltage
+        hi = bisect.bisect_left(speeds, speed)
+        lo = hi - 1
+        span = speeds[hi] - speeds[lo]
+        weight = (speed - speeds[lo]) / span
+        return (self.points[lo].voltage
+                + weight * (self.points[hi].voltage - self.points[lo].voltage))
+
+    def power(self, speed: Speed) -> float:
+        self._check_speed(speed)
+        v = self.voltage(speed)
+        return self.c_eff * v * v * speed * self.f_max
+
+    def describe(self) -> str:
+        rows = ", ".join(
+            f"{s:.2f}@{p.voltage:g}V" for s, p in zip(self._speeds, self.points))
+        return f"CMOS table [{rows}]"
+
+
+class TablePowerModel(PowerModel):
+    """Measured (speed, power) points with linear interpolation."""
+
+    def __init__(self, points: Sequence[tuple[Speed, float]]) -> None:
+        if not points:
+            raise ConfigurationError("need at least one (speed, power) point")
+        ordered = sorted((float(s), float(p)) for s, p in points)
+        for (s1, p1), (s2, p2) in zip(ordered, ordered[1:]):
+            if math.isclose(s1, s2):
+                raise ConfigurationError(f"duplicate speed {s1}")
+            if p2 < p1:
+                raise ConfigurationError(
+                    "power must be non-decreasing in speed")
+        if ordered[0][0] <= 0:
+            raise ConfigurationError("speeds must be > 0")
+        if ordered[-1][0] < 1.0 - 1e-9:
+            raise ConfigurationError("the table must cover speed 1.0")
+        if any(p < 0 for _, p in ordered):
+            raise ConfigurationError("powers must be >= 0")
+        self._speeds = tuple(s for s, _ in ordered)
+        self._powers = tuple(p for _, p in ordered)
+
+    def power(self, speed: Speed) -> float:
+        self._check_speed(speed)
+        speeds, powers = self._speeds, self._powers
+        if speed <= speeds[0]:
+            return powers[0]
+        if speed >= speeds[-1]:
+            return powers[-1]
+        hi = bisect.bisect_left(speeds, speed)
+        lo = hi - 1
+        weight = (speed - speeds[lo]) / (speeds[hi] - speeds[lo])
+        return powers[lo] + weight * (powers[hi] - powers[lo])
+
+    def describe(self) -> str:
+        rows = ", ".join(
+            f"({s:g}, {p:g})" for s, p in zip(self._speeds, self._powers))
+        return f"measured table [{rows}]"

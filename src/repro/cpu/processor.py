@@ -1,0 +1,119 @@
+"""The processor abstraction: speed scale + power model + overheads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.power import PowerModel, PolynomialPowerModel
+from repro.cpu.speed import SpeedScale, ContinuousScale
+from repro.cpu.transition import TransitionModel, NoOverhead
+from repro.errors import ConfigurationError
+from repro.types import Energy, Speed, Time
+
+
+@dataclass
+class Processor:
+    """A DVS-capable processor.
+
+    Composes the attainable speed set, the active power model, the
+    transition-overhead model and an idle power.  ``idle_power`` models
+    whatever the platform draws when no job is ready (clock-gated core,
+    memory refresh, peripherals); the early DVS papers usually set it to
+    zero, so that is the default.
+    """
+
+    scale: SpeedScale = field(default_factory=ContinuousScale)
+    power_model: PowerModel = field(default_factory=PolynomialPowerModel)
+    transition_model: TransitionModel = field(default_factory=NoOverhead)
+    idle_power: float = 0.0
+    sleep_power: float = 0.0
+    wakeup_time: Time = 0.0
+    wakeup_energy: Energy = 0.0
+    name: str = "processor"
+
+    def __post_init__(self) -> None:
+        if self.idle_power < 0:
+            raise ConfigurationError(
+                f"idle_power must be >= 0, got {self.idle_power}")
+        if self.sleep_power < 0:
+            raise ConfigurationError(
+                f"sleep_power must be >= 0, got {self.sleep_power}")
+        if self.sleep_power > self.idle_power + 1e-12:
+            raise ConfigurationError(
+                f"sleep_power {self.sleep_power} must not exceed "
+                f"idle_power {self.idle_power} (sleep is the deeper state)")
+        if self.wakeup_time < 0 or self.wakeup_energy < 0:
+            raise ConfigurationError(
+                f"wakeup costs must be >= 0, got time={self.wakeup_time} "
+                f"energy={self.wakeup_energy}")
+
+    @property
+    def min_speed(self) -> Speed:
+        """Lowest attainable speed."""
+        return self.scale.min_speed
+
+    def quantize(self, speed: Speed) -> Speed:
+        """Round a desired speed up to the nearest attainable level."""
+        return self.scale.quantize(speed)
+
+    def power(self, speed: Speed) -> float:
+        """Active power at an attainable *speed*."""
+        return self.power_model.power(speed)
+
+    def voltage(self, speed: Speed) -> float:
+        """Supply voltage at *speed* (per the power model)."""
+        return self.power_model.voltage(speed)
+
+    def active_energy(self, speed: Speed, duration: Time) -> Energy:
+        """Energy for executing at *speed* for *duration*."""
+        return self.power_model.energy(speed, duration)
+
+    def idle_energy(self, duration: Time) -> Energy:
+        """Energy for idling for *duration*."""
+        if duration < 0:
+            raise ConfigurationError(f"duration must be >= 0, got {duration}")
+        return self.idle_power * duration
+
+    def sleep_energy(self, duration: Time) -> Energy:
+        """Energy for one sleep episode of *duration* (incl. wake-up).
+
+        The wake-up transition energy is charged once per episode; the
+        wake-up *time* must be budgeted by the sleep planner (the
+        processor cannot execute during it).
+        """
+        if duration < 0:
+            raise ConfigurationError(f"duration must be >= 0, got {duration}")
+        return self.sleep_power * duration + self.wakeup_energy
+
+    def sleep_breakeven_time(self) -> Time:
+        """Shortest idle interval for which sleeping beats idling.
+
+        Below this, the wake-up energy outweighs the idle/sleep power
+        gap; infinite when sleeping never pays (no gap).
+        """
+        gap = self.idle_power - self.sleep_power
+        if gap <= 0:
+            return float("inf")
+        return self.wakeup_energy / gap
+
+    def transition(self, from_speed: Speed, to_speed: Speed) -> tuple[Time, Energy]:
+        """(time, energy) cost of switching between two speeds.
+
+        Switching to the same speed is free by definition.
+        """
+        if abs(from_speed - to_speed) <= 1e-12:
+            return 0.0, 0.0
+        v_from = self.voltage(from_speed)
+        v_to = self.voltage(to_speed)
+        dt = self.transition_model.time_overhead(
+            from_speed, to_speed, v_from, v_to)
+        de = self.transition_model.energy_overhead(
+            from_speed, to_speed, v_from, v_to)
+        return dt, de
+
+    def describe(self) -> str:
+        """One-line summary used in experiment reports."""
+        return (f"{self.name}: scale={self.scale.describe()}, "
+                f"power={self.power_model.describe()}, "
+                f"transition={self.transition_model.describe()}, "
+                f"idle={self.idle_power:g}")

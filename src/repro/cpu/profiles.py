@@ -1,0 +1,181 @@
+"""Named processor profiles.
+
+Each factory returns a fresh :class:`~repro.cpu.processor.Processor`
+configured after a platform the DVS literature simulates.  Frequencies
+and voltages follow the commonly tabulated values for each part; where
+a vendor datasheet is not reproducible offline the table is the one the
+follow-up papers used, which is all the qualitative results depend on
+(see DESIGN.md §4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cpu.power import CmosPowerModel, OperatingPoint, PolynomialPowerModel, TablePowerModel
+from repro.cpu.processor import Processor
+from repro.cpu.speed import ContinuousScale, DiscreteScale, uniform_levels
+from repro.cpu.transition import ConstantOverhead, NoOverhead, VoltageSwitchOverhead
+
+
+def ideal_processor(min_speed: float = 0.05, alpha: float = 3.0) -> Processor:
+    """Continuously variable speed, ``P = s^alpha``, free switching.
+
+    The analytic reference model: every policy's best case.
+    """
+    return Processor(
+        scale=ContinuousScale(min_speed=min_speed),
+        power_model=PolynomialPowerModel(alpha=alpha),
+        transition_model=NoOverhead(),
+        name="ideal-continuous",
+    )
+
+
+def generic4_processor() -> Processor:
+    """The classic academic 4-level model.
+
+    Frequencies 25/50/75/100 % at 2/3/4/5 volts — the textbook table
+    used throughout the early-2000s DVS simulation sections.
+    """
+    points = [
+        OperatingPoint(frequency=0.25, voltage=2.0),
+        OperatingPoint(frequency=0.50, voltage=3.0),
+        OperatingPoint(frequency=0.75, voltage=4.0),
+        OperatingPoint(frequency=1.00, voltage=5.0),
+    ]
+    return Processor(
+        scale=DiscreteScale([0.25, 0.50, 0.75, 1.00]),
+        power_model=CmosPowerModel(points, c_eff=1.0),
+        transition_model=NoOverhead(),
+        name="generic-4-level",
+    )
+
+
+def xscale_processor(switch_time: float = 0.0) -> Processor:
+    """Intel XScale-style part: 5 levels, published power numbers.
+
+    The (frequency MHz, voltage V, power mW) rows are the table the
+    practical-DVS papers use: (150, 0.75, 80), (400, 1.0, 170),
+    (600, 1.3, 400), (800, 1.6, 900), (1000, 1.8, 1600).  Power is
+    table-driven (measured), voltage is used for switch-energy costs.
+    """
+    freqs = (150.0, 400.0, 600.0, 800.0, 1000.0)
+    volts = (0.75, 1.0, 1.3, 1.6, 1.8)
+    powers_mw = (80.0, 170.0, 400.0, 900.0, 1600.0)
+    speeds = tuple(f / freqs[-1] for f in freqs)
+    power_model = _VoltageAnnotatedTable(
+        list(zip(speeds, powers_mw)), dict(zip(speeds, volts)))
+    transition = (ConstantOverhead(switch_time=switch_time)
+                  if switch_time > 0 else NoOverhead())
+    return Processor(
+        scale=DiscreteScale(speeds),
+        power_model=power_model,
+        transition_model=transition,
+        idle_power=0.0,
+        name="xscale-5-level",
+    )
+
+
+def sa1100_processor(switch_time: float = 0.14) -> Processor:
+    """StrongARM SA-1100-style part.
+
+    11 frequency steps from 59 to 206.4 MHz; core voltage scales from
+    0.79 V to 1.5 V across the range; voltage switches complete in
+    under 140 microseconds (0.14 ms in the library's millisecond units).
+    """
+    steps = 11
+    f_min, f_max = 59.0, 206.4
+    v_min, v_max = 0.79, 1.5
+    points = []
+    for i in range(steps):
+        frac = i / (steps - 1)
+        points.append(OperatingPoint(
+            frequency=f_min + frac * (f_max - f_min),
+            voltage=v_min + frac * (v_max - v_min)))
+    speeds = [p.frequency / f_max for p in points]
+    return Processor(
+        scale=DiscreteScale(speeds),
+        power_model=CmosPowerModel(points, c_eff=1.0),
+        transition_model=VoltageSwitchOverhead(switch_time=switch_time),
+        name="sa1100-11-level",
+    )
+
+
+def crusoe_processor() -> Processor:
+    """Transmeta Crusoe-style part: 5 LongRun levels."""
+    points = [
+        OperatingPoint(frequency=300.0, voltage=1.2),
+        OperatingPoint(frequency=400.0, voltage=1.225),
+        OperatingPoint(frequency=533.0, voltage=1.35),
+        OperatingPoint(frequency=600.0, voltage=1.5),
+        OperatingPoint(frequency=667.0, voltage=1.6),
+    ]
+    speeds = [p.frequency / points[-1].frequency for p in points]
+    return Processor(
+        scale=DiscreteScale(speeds),
+        power_model=CmosPowerModel(points, c_eff=1.0),
+        transition_model=NoOverhead(),
+        name="crusoe-5-level",
+    )
+
+
+def uniform_discrete_processor(levels: int, min_speed: float = 0.1,
+                               alpha: float = 3.0) -> Processor:
+    """*levels* evenly spaced speeds with polynomial power.
+
+    The knob for the discrete-vs-continuous experiment (EXP-F4).
+    """
+    return Processor(
+        scale=uniform_levels(levels, min_speed=min_speed),
+        power_model=PolynomialPowerModel(alpha=alpha),
+        transition_model=NoOverhead(),
+        name=f"uniform-{levels}-level",
+    )
+
+
+class _VoltageAnnotatedTable(TablePowerModel):
+    """A measured power table that also knows its voltages.
+
+    Needed so switch-energy models can see the real rail voltages of a
+    table-driven profile instead of the default speed-proportional
+    approximation.
+    """
+
+    def __init__(self, points: list[tuple[float, float]],
+                 voltages: dict[float, float]) -> None:
+        super().__init__(points)
+        self._voltages = dict(voltages)
+
+    def voltage(self, speed: float) -> float:
+        exact = self._voltages.get(speed)
+        if exact is not None:
+            return exact
+        # Interpolate between the two nearest annotated speeds.
+        annotated = sorted(self._voltages)
+        lower = max((s for s in annotated if s <= speed), default=annotated[0])
+        upper = min((s for s in annotated if s >= speed), default=annotated[-1])
+        if lower == upper:
+            return self._voltages[lower]
+        weight = (speed - lower) / (upper - lower)
+        return (self._voltages[lower]
+                + weight * (self._voltages[upper] - self._voltages[lower]))
+
+
+#: Name -> factory mapping used by the CLI and experiment configs.
+PROCESSOR_PROFILES: dict[str, Callable[[], Processor]] = {
+    "ideal": ideal_processor,
+    "generic4": generic4_processor,
+    "xscale": xscale_processor,
+    "sa1100": sa1100_processor,
+    "crusoe": crusoe_processor,
+}
+
+
+def load_profile(name: str) -> Processor:
+    """Look up a processor profile by name."""
+    try:
+        factory = PROCESSOR_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROCESSOR_PROFILES))
+        raise KeyError(f"unknown profile {name!r}; known: {known}") from None
+    return factory()

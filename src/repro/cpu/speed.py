@@ -1,0 +1,146 @@
+"""Processor speed scales: continuous and discrete frequency sets.
+
+Speeds are normalised to the maximum frequency, so every scale exposes
+values in ``(0, 1]`` with ``1.0`` always available.  A DVS policy asks
+for an ideal (usually continuous) speed; the scale *quantizes* it to an
+attainable one.  Quantization always rounds **up** — rounding down
+would silently violate the deadline guarantee the policy computed the
+speed from.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.types import Speed
+
+
+class SpeedScale(ABC):
+    """The set of speeds a processor can run at."""
+
+    @property
+    @abstractmethod
+    def min_speed(self) -> Speed:
+        """The lowest attainable speed (> 0)."""
+
+    @abstractmethod
+    def quantize(self, speed: Speed) -> Speed:
+        """Map a desired speed to the smallest attainable speed >= it.
+
+        Inputs above 1.0 (a policy asking for more than the processor
+        has) clamp to 1.0; inputs at or below zero clamp to the minimum
+        speed.
+        """
+
+    @abstractmethod
+    def is_attainable(self, speed: Speed, tol: float = 1e-9) -> bool:
+        """Whether *speed* is exactly (within *tol*) attainable."""
+
+    @property
+    def is_continuous(self) -> bool:
+        """``True`` for continuously variable scales."""
+        return False
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class ContinuousScale(SpeedScale):
+    """Continuously variable speed in ``[min_speed, 1]``.
+
+    The idealised model most analytical DVS results assume; real
+    processors are approximated by :class:`DiscreteScale`.
+    """
+
+    def __init__(self, min_speed: Speed = 0.05) -> None:
+        if not (0.0 < min_speed <= 1.0):
+            raise ConfigurationError(
+                f"min_speed must be in (0, 1], got {min_speed}")
+        self._min_speed = float(min_speed)
+
+    @property
+    def min_speed(self) -> Speed:
+        return self._min_speed
+
+    @property
+    def is_continuous(self) -> bool:
+        return True
+
+    def quantize(self, speed: Speed) -> Speed:
+        if math.isnan(speed):
+            raise ConfigurationError("cannot quantize NaN speed")
+        return min(1.0, max(self._min_speed, speed))
+
+    def is_attainable(self, speed: Speed, tol: float = 1e-9) -> bool:
+        return self._min_speed - tol <= speed <= 1.0 + tol
+
+    def describe(self) -> str:
+        return f"continuous[{self._min_speed}, 1.0]"
+
+
+class DiscreteScale(SpeedScale):
+    """A finite, sorted set of speed levels; the top level must be 1.0."""
+
+    def __init__(self, levels: Sequence[Speed]) -> None:
+        if not levels:
+            raise ConfigurationError("a discrete scale needs >= 1 level")
+        ordered = sorted(float(level) for level in levels)
+        if ordered[0] <= 0.0:
+            raise ConfigurationError(
+                f"speed levels must be > 0, got {ordered[0]}")
+        if not math.isclose(ordered[-1], 1.0, abs_tol=1e-12):
+            raise ConfigurationError(
+                f"the highest level must be 1.0 (max frequency), got "
+                f"{ordered[-1]}")
+        for a, b in zip(ordered, ordered[1:]):
+            if math.isclose(a, b, abs_tol=1e-12):
+                raise ConfigurationError(f"duplicate speed level {a}")
+        self._levels = tuple(ordered)
+
+    @property
+    def levels(self) -> tuple[Speed, ...]:
+        """The attainable speeds, ascending, ending at 1.0."""
+        return self._levels
+
+    @property
+    def min_speed(self) -> Speed:
+        return self._levels[0]
+
+    def quantize(self, speed: Speed) -> Speed:
+        if math.isnan(speed):
+            raise ConfigurationError("cannot quantize NaN speed")
+        if speed >= 1.0:
+            return 1.0
+        # Smallest level >= speed (round up; never jeopardise deadlines).
+        # A microscopic tolerance keeps float noise from bumping a speed
+        # that *is* a level up to the next one.
+        idx = bisect.bisect_left(self._levels, speed - 1e-12)
+        if idx >= len(self._levels):
+            return 1.0
+        return self._levels[idx]
+
+    def is_attainable(self, speed: Speed, tol: float = 1e-9) -> bool:
+        idx = bisect.bisect_left(self._levels, speed - tol)
+        return (idx < len(self._levels)
+                and abs(self._levels[idx] - speed) <= tol)
+
+    def describe(self) -> str:
+        formatted = ", ".join(f"{level:g}" for level in self._levels)
+        return f"discrete[{formatted}]"
+
+
+def uniform_levels(count: int, min_speed: Speed = 0.1) -> DiscreteScale:
+    """*count* evenly spaced levels from *min_speed* to 1.0."""
+    if count < 1:
+        raise ConfigurationError(f"need >= 1 level, got {count}")
+    if count == 1:
+        return DiscreteScale([1.0])
+    if not (0.0 < min_speed < 1.0):
+        raise ConfigurationError(
+            f"min_speed must be in (0, 1) for multiple levels, got {min_speed}")
+    step = (1.0 - min_speed) / (count - 1)
+    return DiscreteScale([min_speed + i * step for i in range(count)])

@@ -1,0 +1,125 @@
+"""Voltage/frequency transition-overhead models.
+
+Changing the operating point of a real DVS processor costs both *time*
+(the PLL relocks and the voltage rail slews; no instructions retire in
+the synchronous-switching model) and *energy* (charging the rail
+capacitance).  Most early DVS-EDF papers assume both are zero and the
+follow-up work studies the sensitivity — this module provides the knob.
+
+The standard energy model (Burd's thesis) charges
+
+``E = eta * C_dd * |V1^2 - V2^2|``
+
+per switch, where ``C_dd`` is the voltage-rail decoupling capacitance
+and ``eta`` an efficiency factor.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+from repro.types import Energy, Speed, Time
+
+
+class TransitionModel(ABC):
+    """Cost of switching the processor between two speeds."""
+
+    @abstractmethod
+    def time_overhead(self, from_speed: Speed, to_speed: Speed,
+                      from_voltage: float, to_voltage: float) -> Time:
+        """Wall time during which no work executes."""
+
+    @abstractmethod
+    def energy_overhead(self, from_speed: Speed, to_speed: Speed,
+                        from_voltage: float, to_voltage: float) -> Energy:
+        """Extra energy charged per switch."""
+
+    @property
+    def is_free(self) -> bool:
+        """``True`` when every switch costs exactly nothing."""
+        return False
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class NoOverhead(TransitionModel):
+    """The idealised zero-cost switch of the base papers."""
+
+    def time_overhead(self, from_speed: Speed, to_speed: Speed,
+                      from_voltage: float, to_voltage: float) -> Time:
+        return 0.0
+
+    def energy_overhead(self, from_speed: Speed, to_speed: Speed,
+                        from_voltage: float, to_voltage: float) -> Energy:
+        return 0.0
+
+    @property
+    def is_free(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "no-overhead"
+
+
+class ConstantOverhead(TransitionModel):
+    """Fixed time and energy cost per switch, independent of levels."""
+
+    def __init__(self, switch_time: Time = 0.0,
+                 switch_energy: Energy = 0.0) -> None:
+        if switch_time < 0 or switch_energy < 0:
+            raise ConfigurationError(
+                f"switch overheads must be >= 0, got time={switch_time} "
+                f"energy={switch_energy}")
+        self.switch_time = float(switch_time)
+        self.switch_energy = float(switch_energy)
+
+    def time_overhead(self, from_speed: Speed, to_speed: Speed,
+                      from_voltage: float, to_voltage: float) -> Time:
+        return self.switch_time
+
+    def energy_overhead(self, from_speed: Speed, to_speed: Speed,
+                        from_voltage: float, to_voltage: float) -> Energy:
+        return self.switch_energy
+
+    @property
+    def is_free(self) -> bool:
+        return self.switch_time == 0.0 and self.switch_energy == 0.0
+
+    def describe(self) -> str:
+        return (f"constant(dt={self.switch_time:g}, "
+                f"dE={self.switch_energy:g})")
+
+
+class VoltageSwitchOverhead(TransitionModel):
+    """Burd-style rail-capacitance model with a fixed relock time.
+
+    ``dt`` is constant per switch (the PLL relock / rail slew window);
+    ``dE = eta * c_dd * |V1^2 - V2^2|`` scales with the voltage swing.
+    """
+
+    def __init__(self, switch_time: Time = 0.0, eta: float = 0.9,
+                 c_dd: float = 5e-6) -> None:
+        if switch_time < 0:
+            raise ConfigurationError(
+                f"switch_time must be >= 0, got {switch_time}")
+        if eta <= 0 or c_dd <= 0:
+            raise ConfigurationError(
+                f"eta and c_dd must be > 0, got eta={eta} c_dd={c_dd}")
+        self.switch_time = float(switch_time)
+        self.eta = float(eta)
+        self.c_dd = float(c_dd)
+
+    def time_overhead(self, from_speed: Speed, to_speed: Speed,
+                      from_voltage: float, to_voltage: float) -> Time:
+        return self.switch_time
+
+    def energy_overhead(self, from_speed: Speed, to_speed: Speed,
+                        from_voltage: float, to_voltage: float) -> Energy:
+        return self.eta * self.c_dd * abs(
+            from_voltage * from_voltage - to_voltage * to_voltage)
+
+    def describe(self) -> str:
+        return (f"voltage-switch(dt={self.switch_time:g}, eta={self.eta:g}, "
+                f"c_dd={self.c_dd:g})")

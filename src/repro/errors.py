@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything coming out of the simulator with one handler while
+still being able to discriminate the common failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class InfeasibleTaskSetError(ConfigurationError):
+    """The task set cannot be scheduled even at maximum processor speed.
+
+    Raised eagerly (before simulation starts) whenever a hard real-time
+    guarantee would be impossible, e.g. total utilization above 1 under
+    EDF with implicit deadlines.
+    """
+
+
+class DeadlineMissError(ReproError):
+    """A job failed to complete by its absolute deadline.
+
+    In a correct DVS policy this never happens; the simulator raises it
+    (rather than silently recording the miss) unless the run was
+    explicitly configured with ``allow_deadline_misses=True``.
+    """
+
+    def __init__(self, message: str, *, task: str | None = None,
+                 job_index: int | None = None,
+                 deadline: float | None = None,
+                 completion: float | None = None) -> None:
+        super().__init__(message)
+        self.task = task
+        self.job_index = job_index
+        self.deadline = deadline
+        self.completion = completion
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an internally inconsistent state."""
+
+
+class TraceValidationError(ReproError):
+    """A recorded trace violates a structural or semantic invariant."""
+
+
+class PolicyError(ReproError):
+    """A DVS policy produced an invalid decision (e.g. speed out of range)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or run failed."""

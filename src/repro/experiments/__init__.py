@@ -1,0 +1,94 @@
+"""Experiment harness: figure/table drivers, sweeps and exporters."""
+
+from repro.experiments.config import (
+    DEFAULT_POLICIES,
+    EXPERIMENT_HORIZON,
+    EXPERIMENT_PERIOD_CHOICES,
+    FigureData,
+    SeriesPoint,
+    TableData,
+)
+from repro.experiments.runner import (
+    SuiteResult,
+    SweepCell,
+    run_suite,
+    standard_taskset,
+    sweep,
+    taskset_seeds,
+    bcwc_model,
+)
+from repro.experiments.energy_norm import (
+    jensen_lower_bound,
+    total_actual_work,
+    normalized,
+)
+from repro.experiments.figures import (
+    FIGURES,
+    energy_vs_utilization,
+    energy_vs_bcwc,
+    energy_vs_ntasks,
+    energy_vs_levels,
+    overhead_sensitivity,
+    slack_accuracy,
+    baseline_ablation,
+    leakage_sensitivity,
+    optimality_gap,
+    sporadic_sensitivity,
+    dpm_sensitivity,
+    multicore_scaling,
+)
+from repro.experiments.tables import (
+    TABLES,
+    processor_model_table,
+    realworld_table,
+    latency_price_table,
+)
+from repro.experiments.probes import SlackProbePolicy
+from repro.experiments.io import write_csv, write_json, read_json
+from repro.experiments.report import build_report, write_report
+from repro.experiments.regression import Drift, diff_results, render_drifts
+
+__all__ = [
+    "DEFAULT_POLICIES",
+    "EXPERIMENT_HORIZON",
+    "EXPERIMENT_PERIOD_CHOICES",
+    "FigureData",
+    "SeriesPoint",
+    "TableData",
+    "SuiteResult",
+    "SweepCell",
+    "run_suite",
+    "standard_taskset",
+    "sweep",
+    "taskset_seeds",
+    "bcwc_model",
+    "jensen_lower_bound",
+    "total_actual_work",
+    "normalized",
+    "FIGURES",
+    "energy_vs_utilization",
+    "energy_vs_bcwc",
+    "energy_vs_ntasks",
+    "energy_vs_levels",
+    "overhead_sensitivity",
+    "slack_accuracy",
+    "baseline_ablation",
+    "leakage_sensitivity",
+    "optimality_gap",
+    "sporadic_sensitivity",
+    "dpm_sensitivity",
+    "multicore_scaling",
+    "TABLES",
+    "processor_model_table",
+    "realworld_table",
+    "latency_price_table",
+    "SlackProbePolicy",
+    "write_csv",
+    "write_json",
+    "read_json",
+    "build_report",
+    "write_report",
+    "Drift",
+    "diff_results",
+    "render_drifts",
+]

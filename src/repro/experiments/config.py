@@ -1,0 +1,174 @@
+"""Shared experiment configuration and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+#: Period grid used by the experiment workloads.  The least common
+#: multiple of every subset divides 1200, so two hyperperiods (2400
+#: time units) make an exact, affordable simulation horizon.
+EXPERIMENT_PERIOD_CHOICES: tuple[float, ...] = (
+    10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 80.0, 100.0, 120.0, 150.0, 200.0)
+
+#: Default horizon matching the grid above (two hyperperiods).
+EXPERIMENT_HORIZON: float = 2400.0
+
+#: Canonical policy order for figures (baseline first, oracle last).
+DEFAULT_POLICIES: tuple[str, ...] = (
+    "none", "static", "lppsEDF", "ccEDF", "DRA", "laEDF", "feedback",
+    "lpSEH", "lpSTA", "clairvoyant")
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One aggregated (x, y) cell of a figure."""
+
+    x: float
+    mean: float
+    ci95: float
+    count: int
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class FigureData:
+    """All series of one reproduced figure, ready to render or dump."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: dict[str, list[SeriesPoint]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_point(self, series_name: str, point: SeriesPoint) -> None:
+        self.series.setdefault(series_name, []).append(point)
+
+    def xs(self) -> list[float]:
+        """The sorted union of x values across series."""
+        values: set[float] = set()
+        for points in self.series.values():
+            values.update(p.x for p in points)
+        return sorted(values)
+
+    def value_at(self, series_name: str, x: float) -> SeriesPoint | None:
+        for point in self.series.get(series_name, ()):
+            if abs(point.x - x) <= 1e-9:
+                return point
+        return None
+
+    def render(self, precision: int = 3) -> str:
+        """An ASCII table: one row per x, one column per series."""
+        if not self.series:
+            return f"{self.experiment_id}: (no data)"
+        names = list(self.series)
+        width = max(8, max(len(n) for n in names) + 1)
+        header = f"{self.x_label:>12} " + " ".join(
+            f"{n:>{width}}" for n in names)
+        lines = [f"== {self.experiment_id}: {self.title} ==",
+                 f"   ({self.y_label})", header]
+        for x in self.xs():
+            cells = []
+            for name in names:
+                point = self.value_at(name, x)
+                cells.append(f"{point.mean:>{width}.{precision}f}"
+                             if point else " " * width)
+            lines.append(f"{x:>12.3f} " + " ".join(cells))
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        return "\n".join(lines)
+
+    def to_rows(self) -> list[dict]:
+        """Flat row dicts for CSV export."""
+        rows = []
+        for name, points in self.series.items():
+            for p in points:
+                row = {"experiment": self.experiment_id, "series": name,
+                       "x": p.x, "mean": p.mean, "ci95": p.ci95,
+                       "count": p.count}
+                row.update(p.extra)
+                rows.append(row)
+        return rows
+
+    def render_chart(self, width: int = 64, height: int = 16) -> str:
+        """An ASCII scatter/line chart of every series.
+
+        Each series gets a marker letter (its legend shows the
+        mapping); points are bucketed onto a character grid scaled to
+        the data ranges.  Good enough to eyeball monotonicity and
+        crossovers straight from the terminal.
+        """
+        points = [(p.x, p.mean, name)
+                  for name, pts in self.series.items() for p in pts]
+        if not points:
+            return f"{self.experiment_id}: (no data)"
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+        grid = [[" "] * width for _ in range(height)]
+        markers = {}
+        for index, name in enumerate(self.series):
+            markers[name] = chr(ord("A") + index % 26)
+        for x, y, name in points:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = (height - 1) - int((y - y_lo) / y_span * (height - 1))
+            cell = grid[row][col]
+            grid[row][col] = "*" if cell not in (" ", markers[name]) \
+                else markers[name]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(f"{y_hi:>10.3g} ┤" + "".join(grid[0]))
+        for row in grid[1:-1]:
+            lines.append(" " * 10 + " │" + "".join(row))
+        lines.append(f"{y_lo:>10.3g} ┤" + "".join(grid[-1]))
+        lines.append(" " * 12 + "└" + "─" * width)
+        lines.append(" " * 12 + f"{x_lo:<.3g}"
+                     + " " * max(1, width - 12) + f"{x_hi:>.3g}")
+        legend = "  ".join(f"{marker}={name}"
+                           for name, marker in markers.items())
+        lines.append(f"   legend: {legend}  (*=overlap)")
+        return "\n".join(lines)
+
+
+@dataclass
+class TableData:
+    """A reproduced table: named columns, list of row dicts."""
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ExperimentError(
+                f"table {self.experiment_id}: row missing columns {missing}")
+        self.rows.append(values)
+
+    def render(self, precision: int = 3) -> str:
+        widths = {c: max(len(c), 10) for c in self.columns}
+        header = " ".join(f"{c:>{widths[c]}}" for c in self.columns)
+        lines = [f"== {self.experiment_id}: {self.title} ==", header]
+        for row in self.rows:
+            cells = []
+            for c in self.columns:
+                v = row[c]
+                if isinstance(v, float):
+                    cells.append(f"{v:>{widths[c]}.{precision}f}")
+                else:
+                    cells.append(f"{str(v):>{widths[c]}}")
+            lines.append(" ".join(cells))
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        return "\n".join(lines)
+
+    def to_rows(self) -> list[dict]:
+        return [{"experiment": self.experiment_id, **row}
+                for row in self.rows]

@@ -1,0 +1,59 @@
+"""Energy normalisation helpers and analytic lower bounds."""
+
+from __future__ import annotations
+
+from repro.cpu.processor import Processor
+from repro.errors import ExperimentError
+from repro.tasks.execution import ExecutionModel
+from repro.tasks.taskset import TaskSet
+from repro.types import Energy, Time
+
+
+def total_actual_work(taskset: TaskSet, execution_model: ExecutionModel,
+                      horizon: Time, *, due_only: bool = False) -> float:
+    """Sum of actual demands of jobs released inside ``[0, horizon)``.
+
+    With ``due_only=True`` only jobs whose absolute deadline falls at or
+    before *horizon* are counted — the work that any feasible schedule
+    is *obliged* to retire inside the horizon (what the lower bound
+    needs; jobs released near the end may legally finish afterwards).
+    """
+    total = 0.0
+    for task in taskset:
+        index = 0
+        while task.release_time(index) < horizon - 1e-9:
+            if (not due_only
+                    or task.absolute_deadline(index) <= horizon + 1e-9):
+                total += execution_model.work(task, index)
+            index += 1
+    return total
+
+
+def jensen_lower_bound(taskset: TaskSet, execution_model: ExecutionModel,
+                       processor: Processor, horizon: Time) -> Energy:
+    """A floor on the energy of *any* feasible schedule of the workload.
+
+    Relax every deadline except the horizon itself: every job due by
+    the horizon must be fully retired inside it, and the cheapest way
+    to retire total work ``W`` within ``[0, horizon]`` under a convex
+    power function is the constant speed ``W / horizon`` for the whole
+    horizon (Jensen's inequality), clamped up to the processor's
+    minimum speed.  Real schedules respect all the other deadlines too,
+    so their energy can only be higher.
+    """
+    if horizon <= 0:
+        raise ExperimentError(f"horizon must be > 0, got {horizon}")
+    work = total_actual_work(taskset, execution_model, horizon,
+                             due_only=True)
+    if work <= 0:
+        return 0.0
+    speed = max(processor.min_speed, min(1.0, work / horizon))
+    busy_time = work / speed
+    return processor.active_energy(speed, busy_time)
+
+
+def normalized(value: Energy, baseline: Energy) -> float:
+    """``value / baseline`` with a zero-baseline guard."""
+    if baseline <= 0:
+        raise ExperimentError(f"baseline energy must be > 0, got {baseline}")
+    return value / baseline

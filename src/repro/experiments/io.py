@@ -1,0 +1,54 @@
+"""Result export: CSV and JSON emitters for figures and tables."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ExperimentError
+from repro.experiments.config import FigureData, TableData
+
+Exportable = Union[FigureData, TableData]
+
+
+def write_csv(data: Exportable, path: str | Path) -> Path:
+    """Write the flattened rows of a figure/table to *path* as CSV."""
+    rows = data.to_rows()
+    if not rows:
+        raise ExperimentError(f"{data.experiment_id}: nothing to export")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_json(data: Exportable, path: str | Path) -> Path:
+    """Write a figure/table (rows + metadata) to *path* as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment": data.experiment_id,
+        "title": data.title,
+        "notes": list(data.notes),
+        "rows": data.to_rows(),
+    }
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def read_json(path: str | Path) -> dict:
+    """Load a previously exported JSON payload."""
+    with Path(path).open() as handle:
+        return json.load(handle)

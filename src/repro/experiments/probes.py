@@ -1,0 +1,43 @@
+"""Instrumented policies used by the ablation experiments."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.slack import exact_slack, heuristic_slack
+from repro.policies.slack_sta import LpStaPolicy
+from repro.tasks.job import Job
+from repro.types import Speed
+
+if TYPE_CHECKING:
+    from repro.sim.engine import SimContext
+
+
+class SlackProbePolicy(LpStaPolicy):
+    """lpSTA that also records the heuristic estimate at each analysis.
+
+    Used by EXP-F6 to quantify how much slack the O(n) heuristic gives
+    up relative to the exact analysis on identical scheduling states.
+    Samples are ``(exact, heuristic)`` pairs in scaled wall time.
+    """
+
+    name = "slack-probe"
+
+    def __init__(self, window_cap_periods: float | None = 2.0) -> None:
+        super().__init__(window_cap_periods=window_cap_periods)
+        self.samples: list[tuple[float, float]] = []
+
+    def reset(self) -> None:
+        super().reset()
+        self.samples = []
+
+    def select_speed(self, job: Job, ctx: "SimContext") -> Speed:
+        remaining = job.remaining_wcet
+        if remaining > 1e-12:
+            state = ctx.slack_state(baseline_speed=self._baseline_speed,
+                                    scaled_tasks=self._scaled_tasks)
+            exact = exact_slack(
+                state, window_cap_periods=self.window_cap_periods)
+            heuristic = heuristic_slack(state)
+            self.samples.append((exact, heuristic))
+        return super().select_speed(job, ctx)

@@ -1,0 +1,116 @@
+"""Result regression checking: diff two exported result sets.
+
+Experiments are seeded and deterministic, so any drift between two
+``repro run all --out <dir>`` exports is a real behavioural change —
+an algorithm edit, a generator change, a bug (or a bug fix).  This
+module compares two result directories cell by cell and reports every
+drift beyond a tolerance, which makes "did my change alter the
+evaluation?" a one-command question:
+
+    repro diff results_before/ results_after/
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.experiments.io import read_json
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One changed cell between two result sets."""
+
+    experiment: str
+    key: str
+    before: float | str | None
+    after: float | str | None
+
+    def describe(self) -> str:
+        return (f"{self.experiment} {self.key}: "
+                f"{self.before!r} -> {self.after!r}")
+
+
+def _load_dir(directory: str | Path) -> dict[str, dict]:
+    payloads = {}
+    for path in sorted(Path(directory).glob("*.json")):
+        payload = read_json(path)
+        if "experiment" in payload and "rows" in payload:
+            payloads[payload["experiment"]] = payload
+    if not payloads:
+        raise ExperimentError(
+            f"no experiment JSON exports found in {directory}")
+    return payloads
+
+
+def _row_key(row: dict) -> str:
+    """Stable identity of a row within its experiment."""
+    if "series" in row and "x" in row:
+        return f"{row['series']}@x={row['x']:g}"
+    for candidate in ("policy", "taskset", "profile"):
+        if candidate in row:
+            return f"{candidate}={row[candidate]}"
+    return repr(sorted(row.items()))
+
+
+def _numeric_fields(row: dict) -> dict[str, float]:
+    return {key: value for key, value in row.items()
+            if isinstance(value, (int, float)) and key != "x"
+            and not isinstance(value, bool)}
+
+
+def diff_results(before_dir: str | Path, after_dir: str | Path,
+                 *, rel_tol: float = 1e-6,
+                 abs_tol: float = 1e-9) -> list[Drift]:
+    """Every cell that differs between the two exports.
+
+    Missing experiments/rows/fields are reported with ``None`` on the
+    absent side.  Numeric cells compare with the given tolerances;
+    everything else compares exactly.
+    """
+    before = _load_dir(before_dir)
+    after = _load_dir(after_dir)
+    drifts: list[Drift] = []
+
+    for experiment in sorted(set(before) | set(after)):
+        if experiment not in before:
+            drifts.append(Drift(experiment, "(whole experiment)",
+                                None, "present"))
+            continue
+        if experiment not in after:
+            drifts.append(Drift(experiment, "(whole experiment)",
+                                "present", None))
+            continue
+        rows_before = {_row_key(r): r for r in before[experiment]["rows"]}
+        rows_after = {_row_key(r): r for r in after[experiment]["rows"]}
+        for key in sorted(set(rows_before) | set(rows_after)):
+            if key not in rows_before:
+                drifts.append(Drift(experiment, key, None, "present"))
+                continue
+            if key not in rows_after:
+                drifts.append(Drift(experiment, key, "present", None))
+                continue
+            b_fields = _numeric_fields(rows_before[key])
+            a_fields = _numeric_fields(rows_after[key])
+            for field in sorted(set(b_fields) | set(a_fields)):
+                b = b_fields.get(field)
+                a = a_fields.get(field)
+                if b is None or a is None:
+                    drifts.append(Drift(experiment, f"{key}.{field}",
+                                        b, a))
+                    continue
+                if abs(a - b) > abs_tol + rel_tol * max(abs(a), abs(b)):
+                    drifts.append(Drift(experiment, f"{key}.{field}",
+                                        b, a))
+    return drifts
+
+
+def render_drifts(drifts: list[Drift]) -> str:
+    """Human-readable drift report (empty-result friendly)."""
+    if not drifts:
+        return "no drifts: result sets are equivalent"
+    lines = [f"{len(drifts)} drifted cells:"]
+    lines.extend(f"  {d.describe()}" for d in drifts)
+    return "\n".join(lines)

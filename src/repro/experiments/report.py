@@ -1,0 +1,115 @@
+"""Markdown report generation from exported experiment results.
+
+``repro run all --out results/`` leaves one JSON per experiment; this
+module folds them back into a single human-readable markdown report —
+the artifact a reproduction hand-off actually wants.  Only the JSON
+payloads are read, so a report can be rebuilt long after the runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.experiments.io import read_json
+
+#: Display order for known experiments; unknown ids sort after these.
+_CANONICAL_ORDER = [
+    "EXP-T1", "EXP-T2", "EXP-T3",
+    "EXP-F1", "EXP-F2", "EXP-F3", "EXP-F4", "EXP-F5", "EXP-F6",
+    "EXP-F7", "EXP-F8", "EXP-F9", "EXP-F10", "EXP-F11", "EXP-F12",
+]
+
+
+def _order_key(experiment_id: str) -> tuple:
+    try:
+        return (0, _CANONICAL_ORDER.index(experiment_id))
+    except ValueError:
+        return (1, experiment_id)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _figure_section(payload: dict) -> list[str]:
+    """Render a figure payload (series over x) as a pivoted table."""
+    rows = payload["rows"]
+    series_names: list[str] = []
+    xs: list[float] = []
+    cells: dict[tuple[float, str], float] = {}
+    for row in rows:
+        name = row["series"]
+        x = float(row["x"])
+        if name not in series_names:
+            series_names.append(name)
+        if x not in xs:
+            xs.append(x)
+        cells[(x, name)] = row["mean"]
+    xs.sort()
+    lines = ["| x | " + " | ".join(series_names) + " |",
+             "|---" * (len(series_names) + 1) + "|"]
+    for x in xs:
+        values = [
+            _format_value(cells[(x, name)]) if (x, name) in cells else ""
+            for name in series_names]
+        lines.append(f"| {x:g} | " + " | ".join(values) + " |")
+    return lines
+
+
+def _table_section(payload: dict) -> list[str]:
+    """Render a table payload's rows directly."""
+    rows = payload["rows"]
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key != "experiment" and key not in columns:
+                columns.append(key)
+    lines = ["| " + " | ".join(columns) + " |",
+             "|---" * len(columns) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(
+            _format_value(row.get(c, "")) for c in columns) + " |")
+    return lines
+
+
+def build_report(results_dir: str | Path, *, title: str | None = None) -> str:
+    """Assemble a markdown report from every ``*.json`` in *results_dir*."""
+    directory = Path(results_dir)
+    payloads = []
+    for path in sorted(directory.glob("*.json")):
+        payload = read_json(path)
+        if "experiment" in payload and "rows" in payload:
+            payloads.append(payload)
+    if not payloads:
+        raise ExperimentError(
+            f"no experiment JSON exports found in {directory}")
+    payloads.sort(key=lambda p: _order_key(p["experiment"]))
+
+    lines = [f"# {title or 'Reproduction results'}", ""]
+    lines.append(f"{len(payloads)} experiments; regenerate with "
+                 f"`repro run all --out <dir>`.")
+    lines.append("")
+    for payload in payloads:
+        lines.append(f"## {payload['experiment']} — {payload['title']}")
+        lines.append("")
+        is_figure = payload["rows"] and "series" in payload["rows"][0]
+        section = (_figure_section(payload) if is_figure
+                   else _table_section(payload))
+        lines.extend(section)
+        for note in payload.get("notes", []):
+            lines.append("")
+            lines.append(f"> {note}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(results_dir: str | Path, output: str | Path,
+                 *, title: str | None = None) -> Path:
+    """Build the report and write it to *output*."""
+    output = Path(output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(build_report(results_dir, title=title))
+    return output

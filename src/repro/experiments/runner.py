@@ -1,0 +1,143 @@
+"""Seeded experiment execution: one workload, many policies.
+
+Every experiment in :mod:`repro.experiments.figures` reduces to the
+same inner loop — generate (or load) a task set, run the same seeded
+workload under every policy, normalise to the no-DVS baseline, and
+aggregate across task sets.  That loop lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cpu.processor import Processor
+from repro.cpu.profiles import ideal_processor
+from repro.errors import ExperimentError
+from repro.experiments.config import EXPERIMENT_PERIOD_CHOICES
+from repro.policies.base import DvsPolicy
+from repro.policies.registry import make_policy
+from repro.sim.engine import simulate
+from repro.sim.results import SimulationResult
+from repro.tasks.execution import ExecutionModel, model_for_bcwc_ratio
+from repro.tasks.generators import generate_taskset
+from repro.tasks.taskset import TaskSet
+from repro.types import Time
+
+
+@dataclass
+class SuiteResult:
+    """Per-policy results for one workload, with the no-DVS baseline."""
+
+    results: dict[str, SimulationResult]
+    baseline: SimulationResult
+
+    def normalized(self, policy: str) -> float:
+        return self.results[policy].normalized_energy(self.baseline)
+
+    def miss_count(self, policy: str) -> int:
+        return len(self.results[policy].deadline_misses)
+
+
+def run_suite(
+    taskset: TaskSet,
+    policy_names: Sequence[str],
+    processor: Processor,
+    execution_model: ExecutionModel,
+    horizon: Time,
+    *,
+    overhead_aware: bool = False,
+    allow_misses: bool = False,
+    policy_factory: Callable[[str], DvsPolicy] | None = None,
+) -> SuiteResult:
+    """Run one workload under every policy (plus the no-DVS baseline)."""
+    factory = policy_factory or (
+        lambda name: make_policy(name, overhead_aware=overhead_aware))
+    results: dict[str, SimulationResult] = {}
+    baseline = simulate(taskset, processor, make_policy("none"),
+                        execution_model, horizon=horizon,
+                        allow_misses=allow_misses)
+    results["none"] = baseline
+    for name in policy_names:
+        if name == "none":
+            continue
+        results[name] = simulate(taskset, processor, factory(name),
+                                 execution_model, horizon=horizon,
+                                 allow_misses=allow_misses)
+    return SuiteResult(results=results, baseline=baseline)
+
+
+@dataclass
+class SweepCell:
+    """Aggregated normalised energies for one parameter value."""
+
+    x: float
+    normalized: dict[str, list[float]] = field(default_factory=dict)
+    misses: dict[str, int] = field(default_factory=dict)
+    switches: dict[str, list[int]] = field(default_factory=dict)
+
+    def record(self, suite: SuiteResult) -> None:
+        for name, result in suite.results.items():
+            self.normalized.setdefault(name, []).append(
+                suite.normalized(name))
+            self.misses[name] = (self.misses.get(name, 0)
+                                 + len(result.deadline_misses))
+            self.switches.setdefault(name, []).append(result.switch_count)
+
+
+def taskset_seeds(master_seed: int, count: int) -> list[int]:
+    """Derive *count* independent task-set seeds from one master seed."""
+    rng = np.random.default_rng(master_seed)
+    return [int(s) for s in rng.integers(0, 2**62, size=count)]
+
+
+def standard_taskset(n_tasks: int, utilization: float, seed: int) -> TaskSet:
+    """The experiment workload generator: UUniFast on the period grid."""
+    return generate_taskset(
+        n_tasks, utilization, np.random.default_rng(seed),
+        period_choices=EXPERIMENT_PERIOD_CHOICES)
+
+
+def sweep(
+    xs: Sequence[float],
+    make_workload: Callable[[float, int], tuple[TaskSet, ExecutionModel]],
+    policy_names: Sequence[str],
+    *,
+    n_tasksets: int = 10,
+    master_seed: int = 2002,
+    horizon: Time,
+    processor_factory: Callable[[float], Processor] | None = None,
+    overhead_aware: bool = False,
+    allow_misses: bool = False,
+) -> list[SweepCell]:
+    """The generic experiment sweep.
+
+    For each value in *xs*, *make_workload(x, seed)* builds a seeded
+    (task set, execution model) pair; the same pair runs under every
+    policy; aggregation across ``n_tasksets`` seeds fills one
+    :class:`SweepCell`.  *processor_factory* may vary the processor
+    with ``x`` (used by the discrete-levels and overhead figures).
+    """
+    if not xs:
+        raise ExperimentError("sweep needs at least one x value")
+    cells = []
+    for x in xs:
+        cell = SweepCell(x=float(x))
+        for seed in taskset_seeds(master_seed, n_tasksets):
+            taskset, model = make_workload(float(x), seed)
+            processor = (processor_factory(float(x))
+                         if processor_factory else ideal_processor())
+            suite = run_suite(taskset, policy_names, processor, model,
+                              horizon=horizon,
+                              overhead_aware=overhead_aware,
+                              allow_misses=allow_misses)
+            cell.record(suite)
+        cells.append(cell)
+    return cells
+
+
+def bcwc_model(bcwc: float, seed: int) -> ExecutionModel:
+    """The canonical execution model for a bc/wc ratio and seed."""
+    return model_for_bcwc_ratio(bcwc, seed=seed)

@@ -1,0 +1,155 @@
+"""Per-table experiment drivers (EXP-T1, EXP-T2)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cpu.profiles import PROCESSOR_PROFILES, ideal_processor
+from repro.experiments.config import DEFAULT_POLICIES, TableData
+from repro.experiments.runner import run_suite
+from repro.tasks.benchmarks import BENCHMARK_TASKSETS
+from repro.tasks.execution import model_for_bcwc_ratio
+
+
+def processor_model_table() -> TableData:
+    """EXP-T1: the processor models available to the experiments."""
+    table = TableData(
+        experiment_id="EXP-T1",
+        title="Processor models (speed levels, power law, switching)",
+        columns=("profile", "levels", "min_speed", "power_at_min",
+                 "power_at_max", "transition"),
+    )
+    for name, factory in PROCESSOR_PROFILES.items():
+        processor = factory()
+        scale = processor.scale
+        if scale.is_continuous:
+            levels = "continuous"
+        else:
+            levels = str(len(scale.levels))
+        table.add_row(
+            profile=name,
+            levels=levels,
+            min_speed=scale.min_speed,
+            power_at_min=processor.power(scale.min_speed),
+            power_at_max=processor.power(1.0),
+            transition=processor.transition_model.describe(),
+        )
+    table.notes.append(
+        "powers are in each profile's native units; experiments only "
+        "use ratios, so units never mix across profiles")
+    return table
+
+
+def realworld_table(
+    *,
+    bcwc: float = 0.5,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    seed: int = 2002,
+    quick: bool = False,
+) -> TableData:
+    """EXP-T2: normalized energy on the real-world benchmark suites."""
+    table = TableData(
+        experiment_id="EXP-T2",
+        title=f"Normalized energy on benchmark task sets (bc/wc={bcwc})",
+        columns=("taskset", "n", "U", *policies),
+    )
+    for name, factory in BENCHMARK_TASKSETS.items():
+        taskset = factory()
+        horizon = taskset.default_horizon(
+            min_jobs_per_task=4 if quick else 10, max_hyperperiods=1)
+        model = model_for_bcwc_ratio(bcwc, seed=seed)
+        suite = run_suite(taskset, policies, ideal_processor(), model,
+                          horizon=horizon)
+        row = {"taskset": name, "n": len(taskset),
+               "U": taskset.utilization}
+        for policy in policies:
+            row[policy] = suite.normalized(policy)
+        table.add_row(**row)
+    table.notes.append(
+        "benchmark suites are representative reconstructions "
+        "(DESIGN.md §4.5); horizons are per-suite hyperperiod-derived")
+    return table
+
+
+def latency_price_table(
+    *,
+    utilization: float = 0.7,
+    bcwc: float = 0.5,
+    n_tasks: int = 8,
+    n_tasksets: int = 10,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    master_seed: int = 2002,
+    quick: bool = False,
+) -> TableData:
+    """EXP-T3 (extension): the response-time price of saving energy.
+
+    DVS trades latency margin for energy: jobs finish later (though
+    never after their deadlines).  For each policy: normalized energy,
+    the mean and worst response time as multiples of the no-DVS run's,
+    and the mean busy speed.  Makes the quality-of-service cost of each
+    scheme explicit — the dimension pure energy plots hide.
+    """
+    from repro.analysis.stats import summarize
+    from repro.experiments.runner import standard_taskset, taskset_seeds
+    from repro.tasks.execution import model_for_bcwc_ratio as bcwc_model
+
+    if quick:
+        n_tasksets = 3
+    table = TableData(
+        experiment_id="EXP-T3",
+        title=f"Latency price of energy saving (U={utilization}, "
+              f"bc/wc={bcwc}, n={n_tasks})",
+        columns=("policy", "energy", "mean_resp_x", "max_resp_x",
+                 "mean_speed"),
+    )
+    energy: dict[str, list[float]] = {p: [] for p in policies}
+    mean_resp: dict[str, list[float]] = {p: [] for p in policies}
+    max_resp: dict[str, list[float]] = {p: [] for p in policies}
+    speed: dict[str, list[float]] = {p: [] for p in policies}
+    for seed in taskset_seeds(master_seed, n_tasksets):
+        taskset = standard_taskset(n_tasks, utilization, seed)
+        model = bcwc_model(bcwc, seed)
+        suite = run_suite(taskset, policies, ideal_processor(), model,
+                          horizon=2400.0)
+        base = suite.baseline
+        base_mean = {name: stats.mean_response
+                     for name, stats in base.task_stats.items()}
+        base_max = {name: stats.max_response
+                    for name, stats in base.task_stats.items()}
+        for policy in policies:
+            result = suite.results[policy]
+            energy[policy].append(suite.normalized(policy))
+            ratios_mean = [
+                stats.mean_response / base_mean[name]
+                for name, stats in result.task_stats.items()
+                if base_mean[name] > 0 and stats.completed > 0]
+            ratios_max = [
+                stats.max_response / base_max[name]
+                for name, stats in result.task_stats.items()
+                if base_max[name] > 0 and stats.completed > 0]
+            if ratios_mean:
+                mean_resp[policy].append(
+                    sum(ratios_mean) / len(ratios_mean))
+            if ratios_max:
+                max_resp[policy].append(max(ratios_max))
+            speed[policy].append(result.mean_speed())
+    for policy in policies:
+        table.add_row(
+            policy=policy,
+            energy=summarize(energy[policy]).mean,
+            mean_resp_x=summarize(mean_resp[policy]).mean,
+            max_resp_x=summarize(max_resp[policy]).mean,
+            mean_speed=summarize(speed[policy]).mean,
+        )
+    table.notes.append(
+        "resp_x columns are response times as multiples of the no-DVS "
+        "run's (deadlines are still always met)")
+    return table
+
+
+#: Table id -> driver, in EXPERIMENTS.md order.
+TABLES = {
+    "table1": processor_model_table,
+    "table2": realworld_table,
+    "table3": latency_price_table,
+}

@@ -1,0 +1,71 @@
+"""DVS policy interface.
+
+A policy decides, at every dispatch point, what speed the processor
+should run the chosen job at.  It sees only information that is
+available online — remaining *worst-case* budgets, deadlines, release
+times — never a job's actual demand (the clairvoyant oracle being the
+explicitly marked exception).
+
+Lifecycle: ``bind`` once per run, then any interleaving of
+``on_release`` / ``on_completion`` notifications and ``select_speed``
+queries.  Policies must be reusable: ``bind`` fully resets state so one
+policy instance can serve many runs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.cpu.processor import Processor
+from repro.tasks.job import Job
+from repro.tasks.taskset import TaskSet
+from repro.types import Speed
+
+if TYPE_CHECKING:
+    from repro.sim.engine import SimContext
+
+
+class DvsPolicy(ABC):
+    """Base class for dynamic voltage scaling policies."""
+
+    #: Registry/reporting identifier; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.taskset: TaskSet | None = None
+        self.processor: Processor | None = None
+
+    def bind(self, taskset: TaskSet, processor: Processor) -> None:
+        """Attach to a run; resets all per-run state."""
+        self.taskset = taskset
+        self.processor = processor
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear per-run state; called by :meth:`bind`."""
+
+    def on_release(self, job: Job, ctx: "SimContext") -> None:
+        """Notification: *job* was just released."""
+
+    def on_completion(self, job: Job, ctx: "SimContext") -> None:
+        """Notification: *job* just completed."""
+
+    @abstractmethod
+    def select_speed(self, job: Job, ctx: "SimContext") -> Speed:
+        """Desired speed for dispatching *job* now (pre-quantization).
+
+        The engine quantizes the returned value *up* to an attainable
+        level, so policies may return ideal continuous speeds.
+        """
+
+    @property
+    def min_speed(self) -> Speed:
+        """The bound processor's lowest speed (1.0 before binding)."""
+        if self.processor is None:
+            return 1.0
+        return self.processor.min_speed
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return self.name

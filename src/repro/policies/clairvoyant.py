@@ -1,0 +1,116 @@
+"""Clairvoyant oracle policy — the fluid-optimal reference floor.
+
+The oracle knows every job's *actual* execution demand, including
+future jobs', and at every scheduling point runs at the **YDS
+intensity** from the current instant:
+
+``s*(t) = max over deadlines d_k  of  h_act(t, d_k) / (d_k - t)``
+
+where ``h_act`` is the *actual* demand (remaining actual work of active
+jobs plus actual work of future releases) due by ``d_k``.  This is the
+lowest constant-from-now speed that meets every deadline given perfect
+knowledge, re-evaluated whenever the workload changes — the discrete-
+event analogue of the Yao/Demers/Shenker fluid schedule.  With convex
+power it yields the smooth, near-optimal profile the figures plot as
+the floor that shows how much of the knowable headroom each online
+policy captures.
+
+Safety: running at ``max_k h(t, d_k)/(d_k - t)`` satisfies the
+processor-demand criterion for every deadline by construction, and the
+speed is re-derived at every scheduling point.  The maximisation is
+evaluated over the analysis window plus a worst-case linear tail bound,
+so deadlines beyond the window are covered conservatively.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.policies.base import DvsPolicy
+from repro.tasks.job import Job
+from repro.tasks.task import PeriodicTask
+from repro.types import Speed, Time, Work
+
+if TYPE_CHECKING:
+    from repro.sim.engine import SimContext
+
+
+class ClairvoyantPolicy(DvsPolicy):
+    """YDS-intensity oracle with perfect workload knowledge."""
+
+    name = "clairvoyant"
+
+    def __init__(self, window_cap_periods: float = 4.0) -> None:
+        super().__init__()
+        self.window_cap_periods = window_cap_periods
+        self._work_cache: dict[tuple[str, int], float] = {}
+
+    def reset(self) -> None:
+        self._work_cache = {}
+
+    # -- oracle workload knowledge ---------------------------------------
+
+    def _work(self, ctx: "SimContext", task: PeriodicTask,
+              index: int) -> float:
+        """Memoised actual demand (execution models hash per query)."""
+        key = (task.name, index)
+        cached = self._work_cache.get(key)
+        if cached is None:
+            cached = ctx.execution_model.work(task, index)
+            self._work_cache[key] = cached
+        return cached
+
+    # -- the YDS intensity -------------------------------------------------
+
+    def intensity(self, ctx: "SimContext") -> Speed:
+        """``max_k h_act(t, d_k) / (d_k - t)`` over the analysis window."""
+        t = ctx.time
+        active = list(ctx.active_jobs)
+        if not active:
+            return 0.0
+        tasks = ctx.taskset.tasks
+        max_period = max(task.period for task in tasks)
+        latest_active = max(j.deadline for j in active)
+        # Obligations end at the simulation horizon, so the analysis
+        # window never needs to extend beyond it.
+        window_end = min(
+            ctx.horizon,
+            max(latest_active, t + self.window_cap_periods * max_period))
+
+        # Demand events at each deadline in the window: active jobs step
+        # in with their actual remaining work, future jobs with their
+        # actual demand, one event per job at its own deadline.  The
+        # oracle is allowed to read both workload oracles: actual
+        # execution demands and actual (possibly sporadic) arrivals.
+        arrivals = ctx.arrival_model
+        events: list[tuple[Time, Work]] = [
+            (j.deadline, j.remaining_work) for j in active]
+        for task in tasks:
+            k = ctx.next_job_index(task.name)
+            while True:
+                arrival = arrivals.arrival_time(task, k)
+                deadline = arrival + task.deadline
+                if deadline > window_end + 1e-12:
+                    break
+                events.append((deadline, self._work(ctx, task, k)))
+                k += 1
+        events.sort(key=lambda e: e[0])
+
+        best = 0.0
+        h = 0.0
+        i = 0
+        n = len(events)
+        while i < n:
+            d_k = events[i][0]
+            while i < n and events[i][0] <= d_k + 1e-12:
+                h += events[i][1]
+                i += 1
+            span = d_k - t
+            if span > 1e-12 and d_k <= window_end + 1e-9:
+                best = max(best, h / span)
+        return best
+
+    # -- policy ------------------------------------------------------------
+
+    def select_speed(self, job: Job, ctx: "SimContext") -> Speed:
+        return max(self.min_speed, min(1.0, self.intensity(ctx)))

@@ -1,0 +1,60 @@
+"""Critical-speed floor wrapper.
+
+With leakage (a speed-independent power component while active), energy
+per unit of work ``P(s)/s`` is no longer monotone: below the *critical
+speed* ``s* = argmin P(s)/s`` stretching a job costs more total energy
+than running it at ``s*`` and idling afterwards.  The early DVS papers
+ignore leakage; the follow-up literature ("leakage-aware DVS")
+introduces exactly this floor.
+
+This wrapper clamps the inner policy's speed to ``max(inner, s*)``.
+Clamping *up* can never violate a deadline (EDF execution-time
+monotonicity), so safety is inherited from the inner policy.  The
+energy effect is measured by EXP-F8.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cpu.processor import Processor
+from repro.policies.base import DvsPolicy
+from repro.tasks.job import Job
+from repro.tasks.taskset import TaskSet
+from repro.types import Speed
+
+if TYPE_CHECKING:
+    from repro.sim.engine import SimContext
+
+
+class CriticalSpeedPolicy(DvsPolicy):
+    """Clamp *inner*'s speed to at least the processor's critical speed."""
+
+    def __init__(self, inner: DvsPolicy) -> None:
+        super().__init__()
+        self.inner = inner
+        self.name = f"cs-{inner.name}"
+        self._floor: Speed = 0.0
+
+    def bind(self, taskset: TaskSet, processor: Processor) -> None:
+        super().bind(taskset, processor)
+        self.inner.bind(taskset, processor)
+        self._floor = processor.quantize(
+            processor.power_model.critical_speed())
+
+    @property
+    def critical_speed(self) -> Speed:
+        """The (quantized) floor in force after binding."""
+        return self._floor
+
+    def on_release(self, job: Job, ctx: "SimContext") -> None:
+        self.inner.on_release(job, ctx)
+
+    def on_completion(self, job: Job, ctx: "SimContext") -> None:
+        self.inner.on_completion(job, ctx)
+
+    def select_speed(self, job: Job, ctx: "SimContext") -> Speed:
+        return max(self.inner.select_speed(job, ctx), self._floor)
+
+    def describe(self) -> str:
+        return f"critical-speed-floor({self.inner.describe()})"

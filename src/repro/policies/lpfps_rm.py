@@ -1,0 +1,62 @@
+"""LPFPS — low-power fixed-priority scheduling (Shin & Choi, DAC 1999).
+
+The fixed-priority counterpart of lppsEDF, included as the substrate
+baseline that lets the experiments contrast the paper's dynamic-priority
+results with the RM world:
+
+* when more than one job is ready, run at full speed (the original
+  formulation — fixed-priority analysis gives no cheap utilization
+  handle like EDF's);
+* when exactly one job is active, stretch its remaining worst-case
+  budget to the earlier of the next release of *any* task and its own
+  deadline — slack that provably belongs to nobody else;
+* (sleep states are modelled by the processor's idle power.)
+
+Must be paired with :class:`repro.sim.scheduler.RMScheduler`; binding
+verifies RM schedulability via exact response-time analysis and raises
+:class:`InfeasibleTaskSetError` otherwise, since a hard guarantee under
+RM needs more than ``U <= 1``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.schedulability import rm_response_time_analysis
+from repro.cpu.processor import Processor
+from repro.errors import InfeasibleTaskSetError
+from repro.policies.base import DvsPolicy
+from repro.tasks.job import Job
+from repro.tasks.taskset import TaskSet
+from repro.types import Speed
+
+if TYPE_CHECKING:
+    from repro.sim.engine import SimContext
+
+
+class LpfpsRmPolicy(DvsPolicy):
+    """Shin & Choi's LPFPS under rate-monotonic scheduling."""
+
+    name = "lpfpsRM"
+
+    def bind(self, taskset: TaskSet, processor: Processor) -> None:
+        super().bind(taskset, processor)
+        analysis = rm_response_time_analysis(taskset)
+        if not analysis.schedulable:
+            worst = max(analysis.response_times,
+                        key=analysis.response_times.get)
+            raise InfeasibleTaskSetError(
+                f"task set is not RM-schedulable at full speed "
+                f"(task {worst!r} response "
+                f"{analysis.response_times[worst]:.4g} exceeds its "
+                f"deadline); LPFPS requires RM feasibility")
+
+    def select_speed(self, job: Job, ctx: "SimContext") -> Speed:
+        if len(ctx.active_jobs) == 1:
+            t = ctx.time
+            fence = min(job.deadline, ctx.next_event_time())
+            window = fence - t
+            if window > 1e-12:
+                needed = job.remaining_wcet / window
+                return max(self.min_speed, min(1.0, needed))
+        return 1.0

@@ -1,0 +1,152 @@
+"""Overhead-aware wrapper around any DVS policy.
+
+The base policies assume speed switches are free.  With a real
+transition cost the naive schedules can (a) waste energy on
+unprofitable switches and (b) — far worse — miss deadlines, because the
+relock window executes nothing and *no policy's analysis accounted for
+that lost time*.  The failure is subtle: the scaled-baseline slack
+policies cap their speed at the static baseline, so once a few relock
+gaps have eaten un-reserved slack the system is irrecoverably late even
+though every individual decision looked safe.
+
+This wrapper restores hard real-time behaviour with a per-dispatch
+**safety floor** derived from the paper's own slack analysis against
+full-speed execution:
+
+* compute the conservative slack ``slack_full`` of the current state
+  (baseline 1.0 — "if everything from now on ran at full speed");
+* reserve relock time for this dispatch's own switch pair plus two
+  switches for every release that can land inside the job's stretched
+  window (each preemption forces an up-switch and a later resume);
+* the job must then run at least at
+  ``rem / (rem + max(0, slack_full - reserve))`` — which exceeds the
+  static baseline whenever the system has fallen behind, providing the
+  catch-up ability the capped inner policies lack.
+
+The wrapped policy's speed is used as the energy target (its own
+induction is gap-free and therefore only trusted as a *target*, never
+as the safety authority); the dispatch runs at the maximum of target
+and floor.  Slowdowns are additionally vetoed when the projected
+active-energy saving does not pay for the switch energy
+(**profitability**), with optional hysteresis.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.slack import heuristic_slack
+from repro.cpu.processor import Processor
+from repro.policies.base import DvsPolicy
+from repro.tasks.job import Job
+from repro.tasks.taskset import TaskSet
+from repro.types import Speed, Time
+
+if TYPE_CHECKING:
+    from repro.sim.engine import SimContext
+
+
+class OverheadAwarePolicy(DvsPolicy):
+    """Wraps *inner*, keeping it safe and profitable under switch costs."""
+
+    def __init__(self, inner: DvsPolicy, *, reserve_factor: float = 2.0,
+                 hysteresis: float = 0.0) -> None:
+        super().__init__()
+        if reserve_factor < 1.0:
+            raise ValueError(
+                f"reserve_factor must be >= 1 (the switch itself), got "
+                f"{reserve_factor}")
+        if hysteresis < 0.0:
+            raise ValueError(f"hysteresis must be >= 0, got {hysteresis}")
+        self.inner = inner
+        self.reserve_factor = reserve_factor
+        self.hysteresis = hysteresis
+        self.vetoed_switches = 0
+        self.name = f"oa-{inner.name}"
+
+    def bind(self, taskset: TaskSet, processor: Processor) -> None:
+        super().bind(taskset, processor)
+        self.inner.bind(taskset, processor)
+
+    def reset(self) -> None:
+        self.vetoed_switches = 0
+
+    def on_release(self, job: Job, ctx: "SimContext") -> None:
+        self.inner.on_release(job, ctx)
+
+    def on_completion(self, job: Job, ctx: "SimContext") -> None:
+        self.inner.on_completion(job, ctx)
+
+    # ------------------------------------------------------------------
+
+    def _switch_time_bound(self, ctx: "SimContext",
+                           current: Speed, target: Speed) -> Time:
+        """Worst relock window this dispatch may trigger."""
+        processor = ctx.processor
+        down, _ = processor.transition(current, target)
+        up, _ = processor.transition(target, 1.0)
+        return max(down, up)
+
+    def _safety_floor(self, job: Job, ctx: "SimContext",
+                      target: Speed, switch_time: Time) -> Speed:
+        """Minimum safe speed given relock reserves.
+
+        ``rem / (rem + usable_slack)`` where the usable slack is the
+        conservative full-speed-baseline slack minus the relock reserve
+        for this dispatch and for every release that can preempt the
+        stretched run.
+        """
+        remaining = job.remaining_wcet
+        t = ctx.time
+        slack = heuristic_slack(ctx.slack_state())
+        window = min(remaining / max(target, 1e-9),
+                     max(0.0, job.deadline - t))
+        releases_inside = 0
+        for task in ctx.taskset:
+            span = t + window - ctx.next_release_of(task.name)
+            if span > 0:
+                releases_inside += int(span / task.period) + 1
+        reserve = switch_time * (2 * releases_inside
+                                 + self.reserve_factor)
+        usable = max(0.0, slack - reserve)
+        return remaining / (remaining + usable)
+
+    def select_speed(self, job: Job, ctx: "SimContext") -> Speed:
+        processor = ctx.processor
+        current = ctx.current_speed
+        target = processor.quantize(self.inner.select_speed(job, ctx))
+        if processor.transition_model.is_free:
+            return target
+        remaining = job.remaining_wcet
+        if remaining <= 1e-12:
+            return current
+
+        switch_time = self._switch_time_bound(ctx, current, target)
+        floor = self._safety_floor(job, ctx, target, switch_time)
+        desired = processor.quantize(max(target, floor))
+
+        if abs(desired - current) <= 1e-12:
+            if target < current - 1e-12:
+                # The inner wanted a slowdown but safety forbade it.
+                self.vetoed_switches += 1
+            return current
+        if desired > current:
+            # Speed-ups are correctness-driven: never veto them.
+            return desired
+
+        # --- slowdown profitability -----------------------------------
+        dt, switch_energy = processor.transition(current, desired)
+        run_time = remaining / desired
+        energy_at_current = processor.active_energy(
+            current, remaining / current)
+        energy_at_new = processor.active_energy(desired, run_time)
+        saving = energy_at_current - energy_at_new
+        if saving <= switch_energy + self.hysteresis:
+            self.vetoed_switches += 1
+            return current
+        return desired
+
+    def describe(self) -> str:
+        return (f"overhead-aware({self.inner.describe()}, "
+                f"reserve={self.reserve_factor}, "
+                f"hysteresis={self.hysteresis})")

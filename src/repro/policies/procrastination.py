@@ -1,0 +1,173 @@
+"""Idle-time management: sleep states and procrastination.
+
+DVS attacks *active* energy; on leaky platforms the *idle* intervals
+matter too.  A sleeping core draws far less than an idling one, but
+entering sleep costs a wake-up transition, so short idle slivers are
+not worth it.  **Procrastination** (the Jejurikar/Lee–Reddy line of
+follow-up work) extends profitable sleeps past the next release: the
+newly released jobs start late — by no more than the slack the paper's
+own analysis guarantees them — batching many idle slivers into one
+deep-sleep episode while every deadline still holds.
+
+The engine consults an :class:`IdlePolicy` whenever the ready queue is
+empty.  :class:`NeverSleepIdlePolicy` reproduces the classic behaviour
+(idle at ``idle_power`` until the next release).
+:class:`ProcrastinationIdlePolicy` plans one sleep episode:
+
+1. let ``r`` be the next actual release and ``delay`` the slack of the
+   *hypothetical* system state at ``r`` (every job releasing exactly at
+   ``r`` active with its full budget — computed with the same exact
+   slack analysis the DVS policies use, so the late start is feasible
+   by the identical induction), scaled by a safety ``margin``;
+2. sleep from now until ``r + delay``, budgeting the wake-up window
+   inside the delay, but only when the episode beats plain idling
+   (break-even check on the sleep/idle power gap vs wake-up energy).
+
+Procrastination requires periodic arrivals (a sporadic "next release"
+is not knowable in advance); with sporadic models the policy falls back
+to sleeping only up to the earliest possible release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analysis.schedulability import minimum_constant_speed
+from repro.analysis.slack import (
+    ActiveJob,
+    SystemState,
+    exact_slack,
+    scale_tasks,
+)
+from repro.cpu.processor import Processor
+from repro.errors import ConfigurationError
+from repro.tasks.taskset import TaskSet
+from repro.types import Time
+
+if TYPE_CHECKING:
+    from repro.sim.engine import SimContext
+
+
+@dataclass(frozen=True)
+class IdlePlan:
+    """The engine's instruction for one empty-queue interval."""
+
+    sleep: bool
+    wake_time: Time
+
+
+class IdlePolicy:
+    """Decides what to do when the ready queue is empty."""
+
+    name = "idle-abstract"
+
+    def bind(self, taskset: TaskSet, processor: Processor) -> None:
+        self.taskset = taskset
+        self.processor = processor
+
+    def plan_idle(self, ctx: "SimContext", now: Time,
+                  next_release: Time) -> IdlePlan:
+        """Plan the interval starting at *now*; the next job release the
+        engine knows about is *next_release* (the horizon when none)."""
+        raise NotImplementedError
+
+
+class NeverSleepIdlePolicy(IdlePolicy):
+    """Classic behaviour: idle at ``idle_power`` until the next release."""
+
+    name = "never-sleep"
+
+    def plan_idle(self, ctx: "SimContext", now: Time,
+                  next_release: Time) -> IdlePlan:
+        return IdlePlan(sleep=False, wake_time=next_release)
+
+
+class SleepOnIdlePolicy(IdlePolicy):
+    """Sleep through idle intervals when profitable; never delay jobs.
+
+    The non-procrastinating baseline: the wake time is exactly the next
+    release, so schedules are identical to never-sleep — only the idle
+    energy differs.
+    """
+
+    name = "sleep-on-idle"
+
+    def plan_idle(self, ctx: "SimContext", now: Time,
+                  next_release: Time) -> IdlePlan:
+        duration = next_release - now
+        breakeven = self.processor.sleep_breakeven_time()
+        if duration > breakeven and duration > self.processor.wakeup_time:
+            return IdlePlan(sleep=True, wake_time=next_release)
+        return IdlePlan(sleep=False, wake_time=next_release)
+
+
+class ProcrastinationIdlePolicy(IdlePolicy):
+    """Extend profitable sleeps past the next release, inside its slack."""
+
+    name = "procrastination"
+
+    def __init__(self, margin: float = 0.5) -> None:
+        if not (0.0 <= margin <= 1.0):
+            raise ConfigurationError(
+                f"margin must be in [0, 1], got {margin}")
+        self.margin = margin
+        self._baseline_speed = 1.0
+        self._scaled_tasks: tuple = ()
+
+    def bind(self, taskset: TaskSet, processor: Processor) -> None:
+        super().bind(taskset, processor)
+        self._baseline_speed = max(minimum_constant_speed(taskset),
+                                   processor.min_speed, 1e-9)
+        self._scaled_tasks = scale_tasks(taskset.tasks,
+                                         self._baseline_speed)
+
+    def _release_state_slack(self, ctx: "SimContext",
+                             release: Time) -> Time:
+        """Exact vacation slack of the hypothetical state at *release*.
+
+        All jobs releasing exactly at *release* are active with full
+        budgets; every other task contributes its own next release.
+        Two deliberate tightenings versus the dispatch-time analysis:
+
+        * a sleeping processor delays *every* arrival, not just the
+          earliest-deadline job, so the vacation is constrained by
+          every future deadline (``earliest_candidate=release``);
+        * budgets are expressed against the statically scaled schedule
+          (pace ``S``), so after the vacation the workload is still
+          feasible *at the static speed* — the induction every capped
+          DVS policy in this library relies on, which a full-speed
+          vacation bound would silently break.
+        """
+        s = self._baseline_speed
+        active = []
+        next_release = {}
+        for task in ctx.taskset:
+            r = ctx.next_release_of(task.name)
+            if abs(r - release) <= 1e-9:
+                active.append(ActiveJob(deadline=r + task.deadline,
+                                        remaining_wcet=task.wcet / s))
+                next_release[task.name] = r + task.period
+            else:
+                next_release[task.name] = max(r, release)
+        if not active:
+            return 0.0
+        state = SystemState.build(time=release, active=active,
+                                  tasks=self._scaled_tasks,
+                                  next_release=next_release)
+        return exact_slack(state, earliest_candidate=release)
+
+    def plan_idle(self, ctx: "SimContext", now: Time,
+                  next_release: Time) -> IdlePlan:
+        processor = self.processor
+        wake = next_release
+        if ctx.arrival_model.is_periodic:
+            slack = self._release_state_slack(ctx, next_release)
+            delay = max(0.0,
+                        self.margin * slack - processor.wakeup_time)
+            wake = next_release + delay
+        duration = wake - now
+        breakeven = processor.sleep_breakeven_time()
+        if duration > breakeven and duration > processor.wakeup_time:
+            return IdlePlan(sleep=True, wake_time=wake)
+        return IdlePlan(sleep=False, wake_time=next_release)

@@ -1,0 +1,36 @@
+"""Simulation kernel: schedulers, engine, tracing, results."""
+
+from repro.sim.scheduler import Scheduler, EDFScheduler, RMScheduler, FIFOScheduler
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.tracing import Segment, SegmentKind, TraceRecorder
+from repro.sim.results import DeadlineMiss, SimulationResult, TaskStats
+from repro.sim.engine import SimContext, Simulator, simulate
+from repro.sim.multicore import (
+    MulticoreResult,
+    first_fit_decreasing,
+    worst_fit_decreasing,
+    simulate_partitioned,
+)
+
+__all__ = [
+    "Scheduler",
+    "EDFScheduler",
+    "RMScheduler",
+    "FIFOScheduler",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Segment",
+    "SegmentKind",
+    "TraceRecorder",
+    "DeadlineMiss",
+    "SimulationResult",
+    "TaskStats",
+    "SimContext",
+    "Simulator",
+    "simulate",
+    "MulticoreResult",
+    "first_fit_decreasing",
+    "worst_fit_decreasing",
+    "simulate_partitioned",
+]

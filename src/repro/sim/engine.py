@@ -1,0 +1,447 @@
+"""The event-driven DVS scheduling simulator.
+
+The engine advances from scheduling point to scheduling point (job
+release, job completion, speed-transition end, horizon); between two
+points exactly one job executes at one constant speed, or the processor
+idles, so energy integrates in closed form.  The bound DVS policy is
+consulted at every dispatch and its (quantized) speed holds until the
+next point — the intra-job constant-speed model of the DVS-EDF
+literature.
+
+Deadline misses abort the run with :class:`DeadlineMissError` unless
+``allow_misses=True`` (used by tests that *expect* misses, e.g. when
+demonstrating that ignoring switch overhead is unsafe).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Mapping
+
+from repro.analysis.slack import ActiveJob, SystemState
+from repro.cpu.processor import Processor
+from repro.errors import (
+    ConfigurationError,
+    DeadlineMissError,
+    PolicyError,
+    SimulationError,
+)
+from repro.sim.results import DeadlineMiss, SimulationResult, TaskStats
+from repro.sim.scheduler import EDFScheduler, Scheduler
+from repro.sim.tracing import TraceRecorder
+from repro.tasks.arrivals import ArrivalModel, PeriodicArrival
+from repro.tasks.execution import ExecutionModel, WorstCaseExecution
+from repro.tasks.job import Job
+from repro.tasks.taskset import TaskSet
+from repro.types import TIME_EPS, Speed, Time
+
+if TYPE_CHECKING:
+    from repro.policies.base import DvsPolicy
+    from repro.policies.procrastination import IdlePolicy
+
+#: Remaining work below this is treated as completion (float dust).
+_WORK_EPS = 1e-9
+
+
+class SimContext:
+    """The read-only view of engine state handed to DVS policies."""
+
+    def __init__(self, engine: "Simulator") -> None:
+        self._engine = engine
+
+    @property
+    def time(self) -> Time:
+        """Current simulation time."""
+        return self._engine._now
+
+    @property
+    def taskset(self) -> TaskSet:
+        return self._engine.taskset
+
+    @property
+    def processor(self) -> Processor:
+        return self._engine.processor
+
+    @property
+    def current_speed(self) -> Speed:
+        """The speed the processor is currently set to."""
+        return self._engine._current_speed
+
+    @property
+    def horizon(self) -> Time:
+        """End of the simulation; no obligations exist beyond it."""
+        return self._engine.horizon
+
+    @property
+    def active_jobs(self) -> tuple[Job, ...]:
+        """Released, incomplete jobs (unsorted)."""
+        return tuple(self._engine._active)
+
+    def ready_sorted(self) -> list[Job]:
+        """Active jobs from highest to lowest scheduling priority."""
+        return self._engine.scheduler.sorted_ready(self._engine._active)
+
+    def next_release_of(self, task_name: str) -> Time:
+        """Earliest *possible* next release of one task.
+
+        For periodic arrivals this is the actual next release.  For
+        sporadic arrivals an online policy may only assume the minimum
+        separation, so the view is pessimistic (``last arrival +
+        period``, clamped to now) — the engine's actual sampled arrival
+        is never earlier, which keeps every slack analysis safe.
+        """
+        return self._engine._pessimistic_next_release(task_name)
+
+    def next_release_map(self) -> Mapping[str, Time]:
+        """Earliest possible next release for every task."""
+        return {task.name: self._engine._pessimistic_next_release(task.name)
+                for task in self._engine.taskset}
+
+    def next_event_time(self) -> Time:
+        """Earliest possible future release (horizon when none remains).
+
+        Pessimistic under sporadic arrivals, like
+        :meth:`next_release_of`.
+        """
+        engine = self._engine
+        candidates = [self.next_release_of(task.name)
+                      for task in engine.taskset
+                      if engine._next_release[task.name]
+                      < engine.horizon - TIME_EPS]
+        return min(candidates) if candidates else engine.horizon
+
+    def next_job_index(self, task_name: str) -> int:
+        """Index of the task's next (not yet released) job."""
+        return self._engine._next_index[task_name]
+
+    @property
+    def execution_model(self) -> ExecutionModel:
+        """The workload oracle — only clairvoyant policies may use it."""
+        return self._engine.execution_model
+
+    @property
+    def arrival_model(self) -> ArrivalModel:
+        """The arrival oracle — only clairvoyant policies may use it."""
+        return self._engine.arrival_model
+
+    def slack_state(self, *, baseline_speed: float = 1.0,
+                    scaled_tasks: tuple | None = None) -> SystemState:
+        """Snapshot the schedule for :mod:`repro.analysis.slack`.
+
+        With ``baseline_speed < 1`` the snapshot is expressed in the
+        scaled time base: active budgets become wall time at that speed
+        and the task tuple is replaced by *scaled_tasks* (precomputed
+        with :func:`repro.analysis.slack.scale_tasks`, to avoid
+        rebuilding task objects at every scheduling point).
+        """
+        active = tuple(
+            ActiveJob(deadline=job.deadline,
+                      remaining_wcet=job.remaining_wcet / baseline_speed)
+            for job in self._engine._active)
+        tasks = (scaled_tasks if scaled_tasks is not None
+                 else self._engine.taskset.tasks)
+        return SystemState.build(
+            time=self._engine._now,
+            active=active,
+            tasks=tasks,
+            next_release=self.next_release_map(),
+        )
+
+
+class Simulator:
+    """One simulation run binding a workload, a processor and a policy."""
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        processor: Processor,
+        policy: "DvsPolicy",
+        execution_model: ExecutionModel | None = None,
+        *,
+        arrival_model: ArrivalModel | None = None,
+        idle_policy: "IdlePolicy | None" = None,
+        scheduler: Scheduler | None = None,
+        horizon: Time | None = None,
+        record_trace: bool = False,
+        allow_misses: bool = False,
+        check_feasibility: bool = True,
+    ) -> None:
+        if check_feasibility:
+            taskset.assert_feasible_edf()
+        self.taskset = taskset
+        self.processor = processor
+        self.policy = policy
+        self.execution_model = execution_model or WorstCaseExecution()
+        self.arrival_model = arrival_model or PeriodicArrival()
+        self.idle_policy = idle_policy
+        self.scheduler = scheduler or EDFScheduler()
+        self.horizon = horizon if horizon is not None else taskset.default_horizon()
+        if self.horizon <= 0:
+            raise ConfigurationError(f"horizon must be > 0, got {self.horizon}")
+        self.allow_misses = allow_misses
+        self.record_trace = record_trace
+
+        # Mutable run state (reset by run()).
+        self._now: Time = 0.0
+        self._active: list[Job] = []
+        self._next_release: dict[str, Time] = {}
+        self._next_index: dict[str, int] = {}
+        self._current_speed: Speed = 1.0
+        self._missed_jobs: set[str] = set()
+        self._last_running: Job | None = None
+        self._result: SimulationResult | None = None
+        self._ctx = SimContext(self)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the full simulation and return its result."""
+        self._reset()
+        result = self._result
+        assert result is not None
+        self.policy.bind(self.taskset, self.processor)
+        if self.idle_policy is not None:
+            self.idle_policy.bind(self.taskset, self.processor)
+        self._process_releases()
+
+        while self._now < self.horizon - TIME_EPS:
+            job = self.scheduler.pick(self._active)
+            if job is None:
+                self._handle_empty_queue()
+                self._process_releases()
+                continue
+            self._dispatch(job)
+
+        self._final_miss_check()
+        result.trace = self._trace if self.record_trace else None
+        return result
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _reset(self) -> None:
+        self._now = 0.0
+        self._active = []
+        self._missed_jobs = set()
+        self._last_running = None
+        self._current_speed = 1.0
+        self._next_release = {
+            t.name: self.arrival_model.arrival_time(t, 0)
+            for t in self.taskset}
+        self._last_arrival: dict[str, Time | None] = {
+            t.name: None for t in self.taskset}
+        self._next_index = {t.name: 0 for t in self.taskset}
+        self._trace = TraceRecorder(enabled=self.record_trace)
+        self._result = SimulationResult(
+            policy=getattr(self.policy, "name", type(self.policy).__name__),
+            horizon=self.horizon,
+            task_stats={t.name: TaskStats() for t in self.taskset},
+        )
+
+    def _next_release_global(self) -> Time:
+        pending = [r for r in self._next_release.values()
+                   if r < self.horizon - TIME_EPS]
+        return min(pending) if pending else self.horizon
+
+    def _pessimistic_next_release(self, task_name: str) -> Time:
+        """Earliest possible next release an online policy may assume."""
+        if self.arrival_model.is_periodic:
+            return self._next_release[task_name]
+        last = self._last_arrival[task_name]
+        if last is None:
+            # First arrival: the phase is part of the task contract.
+            return max(self._now, self._next_release[task_name])
+        return max(self._now, last + self.taskset[task_name].period)
+
+    def _process_releases(self) -> None:
+        """Create all jobs whose release time has arrived."""
+        for task in self.taskset:
+            while (self._next_release[task.name] <= self._now + TIME_EPS
+                   and self._next_release[task.name] < self.horizon - TIME_EPS):
+                index = self._next_index[task.name]
+                release = self._next_release[task.name]
+                work = self.execution_model.work(task, index)
+                job = Job.from_task(task, index, work, release=release)
+                self._active.append(job)
+                self._result.jobs_released += 1
+                self._result.task_stats[task.name].released += 1
+                self._last_arrival[task.name] = release
+                self._next_index[task.name] = index + 1
+                self._next_release[task.name] = \
+                    self.arrival_model.arrival_time(task, index + 1)
+                self.policy.on_release(job, self._ctx)
+        self._check_misses()
+
+    def _check_misses(self) -> None:
+        """Detect active jobs whose deadline has already passed."""
+        for job in self._active:
+            if job.deadline < self._now - 1e-6 and job.name not in self._missed_jobs:
+                self._register_miss(job, detected_at=self._now)
+
+    def _register_miss(self, job: Job, detected_at: Time) -> None:
+        self._missed_jobs.add(job.name)
+        miss = DeadlineMiss(job=job.name, task=job.task.name,
+                            deadline=job.deadline, detected_at=detected_at)
+        self._result.deadline_misses.append(miss)
+        self._result.task_stats[job.task.name].missed += 1
+        if not self.allow_misses:
+            raise DeadlineMissError(
+                f"job {job.name} missed its deadline {job.deadline:g} "
+                f"(detected at t={detected_at:g}, policy="
+                f"{self._result.policy})",
+                task=job.task.name, job_index=job.index,
+                deadline=job.deadline, completion=detected_at)
+
+    def _handle_empty_queue(self) -> None:
+        """Idle or sleep until something can run again."""
+        next_release = min(self._next_release_global(), self.horizon)
+        if self.idle_policy is None:
+            self._idle_until(next_release)
+            return
+        plan = self.idle_policy.plan_idle(self._ctx, self._now,
+                                          next_release)
+        if not plan.sleep:
+            self._idle_until(min(max(plan.wake_time, self._now),
+                                 self.horizon))
+            return
+        wake = min(max(plan.wake_time, self._now), self.horizon)
+        if wake <= self._now + TIME_EPS:
+            self._idle_until(next_release)
+            return
+        self._sleep_until(wake)
+
+    def _sleep_until(self, until: Time) -> None:
+        """One sleep episode (deadline-safe by the planner's contract)."""
+        duration = until - self._now
+        energy = self.processor.sleep_energy(duration)
+        self._result.sleep_energy += energy
+        self._result.sleep_time += duration
+        self._result.sleep_episodes += 1
+        self._trace.sleep(self._now, until, energy)
+        self._last_running = None
+        self._now = until
+        self._check_misses()
+
+    def _idle_until(self, until: Time) -> None:
+        if until <= self._now + TIME_EPS:
+            self._now = max(self._now, until)
+            return
+        duration = until - self._now
+        energy = self.processor.idle_energy(duration)
+        self._result.idle_energy += energy
+        self._result.idle_time += duration
+        self._trace.idle(self._now, until, energy)
+        self._last_running = None
+        self._now = until
+        self._check_misses()
+
+    def _apply_speed(self, desired: Speed) -> Speed:
+        """Quantize, validate and (paying overhead) switch to a speed."""
+        if desired is None or math.isnan(desired):
+            raise PolicyError(
+                f"policy {self._result.policy} returned invalid speed "
+                f"{desired!r}")
+        speed = self.processor.quantize(desired)
+        if speed <= 0 or speed > 1.0 + 1e-9:
+            raise PolicyError(
+                f"quantized speed {speed} outside (0, 1]")
+        if abs(speed - self._current_speed) <= 1e-12:
+            return self._current_speed
+        dt, de = self.processor.transition(self._current_speed, speed)
+        self._result.switch_count += 1
+        self._result.switch_energy += de
+        if dt > 0:
+            end = min(self._now + dt, self.horizon)
+            self._result.switch_time += end - self._now
+            self._trace.switch(self._now, end, de, to_speed=speed)
+            self._now = end
+        elif self.record_trace and de > 0:
+            # Zero-duration switches still carry energy; attach it to a
+            # zero-length marker the recorder drops, so account only in
+            # the result totals (already done above).
+            pass
+        self._current_speed = speed
+        self._check_misses()
+        return speed
+
+    def _dispatch(self, job: Job) -> None:
+        """Run the chosen job until the next scheduling point."""
+        if self._last_running is not None and self._last_running is not job:
+            if not self._last_running.completed:
+                self._last_running.preemption_count += 1
+                self._result.task_stats[
+                    self._last_running.task.name].preemptions += 1
+        if job.first_dispatch_time is None:
+            job.first_dispatch_time = self._now
+        desired = self.policy.select_speed(job, self._ctx)
+        speed = self._apply_speed(desired)
+        if self._now >= self.horizon - TIME_EPS:
+            self._last_running = job
+            return
+        # A release may have occurred during a timed switch; if it
+        # changed the highest-priority job, re-dispatch.
+        self._process_releases()
+        current_best = self.scheduler.pick(self._active)
+        if current_best is not job:
+            self._last_running = job
+            return
+
+        completion = self._now + job.remaining_work / speed
+        next_point = min(completion, self._next_release_global(), self.horizon)
+        duration = next_point - self._now
+        if duration <= 0:
+            raise SimulationError(
+                f"no progress at t={self._now} (next point {next_point})")
+        retired = min(speed * duration, job.remaining_work)
+        job.execute(retired)
+        energy = self.processor.active_energy(speed, duration)
+        self._result.busy_energy += energy
+        self._result.busy_time += duration
+        key = round(speed, 12)
+        self._result.speed_time[key] = (
+            self._result.speed_time.get(key, 0.0) + duration)
+        self._result.task_stats[job.task.name].total_executed += retired
+        self._trace.run(self._now, next_point, job.name, job.task.name,
+                        speed, energy)
+        self._now = next_point
+        self._last_running = job
+
+        if job.remaining_work <= _WORK_EPS:
+            self._complete(job)
+        self._process_releases()
+
+    def _complete(self, job: Job) -> None:
+        job.complete(self._now)
+        self._active.remove(job)
+        self._result.jobs_completed += 1
+        stats = self._result.task_stats[job.task.name]
+        stats.completed += 1
+        response = job.response_time or 0.0
+        stats.total_response += response
+        stats.max_response = max(stats.max_response, response)
+        if not job.met_deadline(eps=1e-6) and job.name not in self._missed_jobs:
+            self._register_miss(job, detected_at=self._now)
+        self._last_running = None
+        self.policy.on_completion(job, self._ctx)
+
+    def _final_miss_check(self) -> None:
+        """Jobs incomplete at the horizon with expired deadlines missed."""
+        for job in self._active:
+            if (job.deadline <= self.horizon + TIME_EPS
+                    and job.name not in self._missed_jobs):
+                self._register_miss(job, detected_at=self.horizon)
+
+
+def simulate(
+    taskset: TaskSet,
+    processor: Processor,
+    policy: "DvsPolicy",
+    execution_model: ExecutionModel | None = None,
+    **kwargs,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(taskset, processor, policy, execution_model,
+                     **kwargs).run()

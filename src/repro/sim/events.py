@@ -1,0 +1,85 @@
+"""A small, deterministic discrete-event queue.
+
+The periodic engine only needs "next release" bookkeeping, but the
+sporadic/aperiodic extensions (see :mod:`repro.tasks`) and tests use a
+general event queue.  Ordering is total: time, then an explicit kind
+priority (completions drain before releases at the same instant), then
+a monotone sequence number — so simulations are bit-for-bit
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.types import Time
+
+
+class EventKind(IntEnum):
+    """Event classes in drain order at equal timestamps."""
+
+    COMPLETION = 0
+    RELEASE = 1
+    TIMER = 2
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence."""
+
+    time: Time
+    kind: EventKind
+    payload: Any = None
+    seq: int = field(default=0, compare=False)
+
+    def sort_key(self) -> tuple:
+        return (self.time, int(self.kind), self.seq)
+
+
+class EventQueue:
+    """A heap of :class:`Event` with stable, deterministic ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple, Event]] = []
+        self._counter = itertools.count()
+        self._last_popped: Time | None = None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: Time, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event; events may not be scheduled in the past."""
+        if self._last_popped is not None and time < self._last_popped - 1e-12:
+            raise SimulationError(
+                f"event at {time} scheduled before already-processed time "
+                f"{self._last_popped}")
+        event = Event(time=time, kind=kind, payload=payload,
+                      seq=next(self._counter))
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        return event
+
+    def peek(self) -> Event:
+        """The next event without removing it."""
+        if not self._heap:
+            raise SimulationError("peek on empty event queue")
+        return self._heap[0][1]
+
+    def pop(self) -> Event:
+        """Remove and return the next event."""
+        if not self._heap:
+            raise SimulationError("pop on empty event queue")
+        event = heapq.heappop(self._heap)[1]
+        self._last_popped = event.time
+        return event
+
+    def next_time(self) -> Time | None:
+        """Timestamp of the next event, or ``None`` when empty."""
+        return self._heap[0][1].time if self._heap else None

@@ -1,0 +1,111 @@
+"""Simulation outcome containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sim.tracing import TraceRecorder
+from repro.types import Energy, Time
+
+
+@dataclass
+class TaskStats:
+    """Per-task aggregates accumulated during a run."""
+
+    released: int = 0
+    completed: int = 0
+    missed: int = 0
+    total_executed: float = 0.0
+    total_response: float = 0.0
+    max_response: float = 0.0
+    preemptions: int = 0
+
+    @property
+    def mean_response(self) -> float:
+        """Mean response time over completed jobs (0 when none)."""
+        if self.completed == 0:
+            return 0.0
+        return self.total_response / self.completed
+
+
+@dataclass
+class DeadlineMiss:
+    """Record of one missed deadline (only with ``allow_misses``)."""
+
+    job: str
+    task: str
+    deadline: Time
+    detected_at: Time
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced.
+
+    Energies decompose exactly: ``total_energy = busy_energy +
+    idle_energy + switch_energy + sleep_energy``.
+    """
+
+    policy: str
+    horizon: Time
+    busy_energy: Energy = 0.0
+    idle_energy: Energy = 0.0
+    switch_energy: Energy = 0.0
+    sleep_energy: Energy = 0.0
+    switch_count: int = 0
+    sleep_episodes: int = 0
+    busy_time: Time = 0.0
+    idle_time: Time = 0.0
+    switch_time: Time = 0.0
+    sleep_time: Time = 0.0
+    jobs_released: int = 0
+    jobs_completed: int = 0
+    deadline_misses: list[DeadlineMiss] = field(default_factory=list)
+    task_stats: dict[str, TaskStats] = field(default_factory=dict)
+    speed_time: dict[float, Time] = field(default_factory=dict)
+    trace: TraceRecorder | None = None
+
+    @property
+    def total_energy(self) -> Energy:
+        return (self.busy_energy + self.idle_energy + self.switch_energy
+                + self.sleep_energy)
+
+    @property
+    def missed(self) -> bool:
+        return bool(self.deadline_misses)
+
+    def normalized_energy(self, baseline: "SimulationResult") -> float:
+        """This run's energy relative to *baseline* (same workload)."""
+        if abs(self.horizon - baseline.horizon) > 1e-6 * max(1.0, self.horizon):
+            raise ConfigurationError(
+                f"cannot normalise across different horizons "
+                f"({self.horizon} vs {baseline.horizon})")
+        if baseline.total_energy <= 0:
+            raise ConfigurationError("baseline energy is zero")
+        return self.total_energy / baseline.total_energy
+
+    def mean_speed(self) -> float:
+        """Time-weighted average execution speed while busy."""
+        if self.busy_time <= 0:
+            return 0.0
+        weighted = sum(s * t for s, t in self.speed_time.items())
+        return weighted / self.busy_time
+
+    def summary(self) -> str:
+        """One human-readable paragraph of the run's outcome."""
+        lines = [
+            f"policy={self.policy} horizon={self.horizon:g}",
+            f"  energy: total={self.total_energy:.6g} "
+            f"(busy={self.busy_energy:.6g}, idle={self.idle_energy:.6g}, "
+            f"switch={self.switch_energy:.6g}, "
+            f"sleep={self.sleep_energy:.6g})",
+            f"  time: busy={self.busy_time:.6g}, idle={self.idle_time:.6g}, "
+            f"switch={self.switch_time:.6g}, sleep={self.sleep_time:.6g}",
+            f"  jobs: released={self.jobs_released}, "
+            f"completed={self.jobs_completed}, "
+            f"misses={len(self.deadline_misses)}",
+            f"  switches={self.switch_count}, "
+            f"mean busy speed={self.mean_speed():.4f}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Schedule trace recording.
+
+A trace is a gap-free sequence of segments covering ``[0, horizon]``:
+every instant is either running one job at one speed, idling, or inside
+a speed transition.  Traces back the validation layer
+(:mod:`repro.analysis.validation`), the examples' Gantt rendering, and
+several tests; recording can be disabled for large sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from repro.errors import SimulationError
+from repro.types import Energy, Speed, Time
+
+
+class SegmentKind(Enum):
+    """What the processor was doing during a segment."""
+
+    RUN = "run"
+    IDLE = "idle"
+    SWITCH = "switch"
+    SLEEP = "sleep"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One homogeneous stretch of processor activity."""
+
+    start: Time
+    end: Time
+    kind: SegmentKind
+    speed: Speed
+    energy: Energy
+    job: str | None = None
+    task: str | None = None
+
+    @property
+    def duration(self) -> Time:
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start - 1e-12:
+            raise SimulationError(
+                f"segment ends before it starts: [{self.start}, {self.end}]")
+
+
+class TraceRecorder:
+    """Collects segments; merges adjacent identical ones."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._segments: list[Segment] = []
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    @property
+    def segments(self) -> tuple[Segment, ...]:
+        return tuple(self._segments)
+
+    def record(self, segment: Segment) -> None:
+        """Append a segment (no-op when disabled; merges contiguous twins)."""
+        if not self.enabled:
+            return
+        if segment.duration <= 0:
+            return
+        if self._segments:
+            last = self._segments[-1]
+            if segment.start < last.end - 1e-9:
+                raise SimulationError(
+                    f"overlapping segments: previous ends at {last.end}, "
+                    f"new starts at {segment.start}")
+            if (segment.kind == last.kind and segment.job == last.job
+                    and abs(segment.speed - last.speed) < 1e-12
+                    and abs(segment.start - last.end) < 1e-9):
+                merged = Segment(
+                    start=last.start, end=segment.end, kind=last.kind,
+                    speed=last.speed, energy=last.energy + segment.energy,
+                    job=last.job, task=last.task)
+                self._segments[-1] = merged
+                return
+        self._segments.append(segment)
+
+    def run(self, start: Time, end: Time, job: str, task: str,
+            speed: Speed, energy: Energy) -> None:
+        """Record a job-execution segment."""
+        self.record(Segment(start=start, end=end, kind=SegmentKind.RUN,
+                            speed=speed, energy=energy, job=job, task=task))
+
+    def idle(self, start: Time, end: Time, energy: Energy) -> None:
+        """Record an idle segment."""
+        self.record(Segment(start=start, end=end, kind=SegmentKind.IDLE,
+                            speed=0.0, energy=energy))
+
+    def switch(self, start: Time, end: Time, energy: Energy,
+               to_speed: Speed) -> None:
+        """Record a speed-transition segment."""
+        self.record(Segment(start=start, end=end, kind=SegmentKind.SWITCH,
+                            speed=to_speed, energy=energy))
+
+    def sleep(self, start: Time, end: Time, energy: Energy) -> None:
+        """Record a sleep episode (incl. its wake-up window)."""
+        self.record(Segment(start=start, end=end, kind=SegmentKind.SLEEP,
+                            speed=0.0, energy=energy))
+
+    def total_energy(self) -> Energy:
+        return sum(s.energy for s in self._segments)
+
+    def busy_time(self) -> Time:
+        return sum(s.duration for s in self._segments
+                   if s.kind == SegmentKind.RUN)
+
+    def idle_time(self) -> Time:
+        return sum(s.duration for s in self._segments
+                   if s.kind == SegmentKind.IDLE)
+
+    def executed_work(self, job: str | None = None) -> float:
+        """Work retired (speed x duration), optionally for one job."""
+        return sum(s.duration * s.speed for s in self._segments
+                   if s.kind == SegmentKind.RUN
+                   and (job is None or s.job == job))
+
+    def render_gantt(self, width: int = 80, end: Time | None = None) -> str:
+        """A coarse ASCII Gantt strip (one char per time bucket)."""
+        if not self._segments:
+            return "(empty trace)"
+        horizon = end if end is not None else self._segments[-1].end
+        if horizon <= 0:
+            return "(empty trace)"
+        bucket = horizon / width
+        chars = []
+        for i in range(width):
+            t_mid = (i + 0.5) * bucket
+            label = "."
+            for seg in self._segments:
+                if seg.start <= t_mid < seg.end:
+                    if seg.kind == SegmentKind.IDLE:
+                        label = "."
+                    elif seg.kind == SegmentKind.SWITCH:
+                        label = "|"
+                    elif seg.kind == SegmentKind.SLEEP:
+                        label = "z"
+                    else:
+                        label = (seg.task or "?")[0].upper()
+                    break
+            chars.append(label)
+        return "".join(chars)

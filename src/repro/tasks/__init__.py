@@ -1,0 +1,73 @@
+"""Task model: periodic tasks, jobs, execution-time models, generators."""
+
+from repro.tasks.task import PeriodicTask
+from repro.tasks.job import Job
+from repro.tasks.taskset import TaskSet
+from repro.tasks.execution import (
+    ExecutionModel,
+    ConstantExecution,
+    WorstCaseExecution,
+    UniformExecution,
+    TruncatedNormalExecution,
+    BimodalExecution,
+    SinusoidalExecution,
+    MarkovExecution,
+    TraceExecution,
+    model_for_bcwc_ratio,
+)
+from repro.tasks.arrivals import (
+    ArrivalModel,
+    PeriodicArrival,
+    UniformJitterArrival,
+    ExponentialGapArrival,
+    BurstyArrival,
+)
+from repro.tasks.generators import (
+    uunifast,
+    uunifast_discard,
+    generate_taskset,
+    generate_taskset_family,
+    log_uniform_periods,
+    grid_periods,
+    DEFAULT_PERIOD_CHOICES,
+)
+from repro.tasks.benchmarks import (
+    cnc_taskset,
+    avionics_taskset,
+    ins_taskset,
+    load_benchmark,
+    BENCHMARK_TASKSETS,
+)
+
+__all__ = [
+    "PeriodicTask",
+    "Job",
+    "TaskSet",
+    "ExecutionModel",
+    "ConstantExecution",
+    "WorstCaseExecution",
+    "UniformExecution",
+    "TruncatedNormalExecution",
+    "BimodalExecution",
+    "SinusoidalExecution",
+    "MarkovExecution",
+    "TraceExecution",
+    "model_for_bcwc_ratio",
+    "ArrivalModel",
+    "PeriodicArrival",
+    "UniformJitterArrival",
+    "ExponentialGapArrival",
+    "BurstyArrival",
+    "uunifast",
+    "uunifast_discard",
+    "generate_taskset",
+    "generate_taskset_family",
+    "log_uniform_periods",
+    "grid_periods",
+    "DEFAULT_PERIOD_CHOICES",
+    "cnc_taskset",
+    "avionics_taskset",
+    "ins_taskset",
+    "load_benchmark",
+    "BENCHMARK_TASKSETS",
+]

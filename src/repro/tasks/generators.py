@@ -1,0 +1,197 @@
+"""Random task-set generation.
+
+The standard recipe of the DVS/real-time evaluation literature:
+
+* per-task utilizations via **UUniFast** (Bini & Buttazzo), which samples
+  uniformly from the simplex of utilization vectors summing to ``U``;
+* periods drawn log-uniformly from a range (so task time scales spread
+  over orders of magnitude), optionally snapped to a divisor grid that
+  keeps hyperperiods small enough to simulate;
+* WCETs derived as ``u_i * T_i``.
+
+All generation is driven by an explicit :class:`numpy.random.Generator`
+so every experiment is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+#: Default harmonic-friendly period grid (time units are arbitrary;
+#: think milliseconds).  Chosen so any subset has a hyperperiod that
+#: divides 3600.
+DEFAULT_PERIOD_CHOICES: tuple[float, ...] = (
+    10.0, 12.0, 15.0, 20.0, 24.0, 30.0, 36.0, 40.0, 45.0, 50.0, 60.0,
+    72.0, 75.0, 90.0, 100.0, 120.0, 150.0, 180.0, 200.0, 225.0, 240.0,
+    300.0, 360.0, 400.0, 450.0, 600.0, 720.0, 900.0, 1200.0, 1800.0,
+)
+
+
+def uunifast(n: int, total_utilization: float,
+             rng: np.random.Generator) -> list[float]:
+    """Sample *n* utilizations summing to *total_utilization*.
+
+    Classic UUniFast: unbiased uniform sampling over the simplex.
+    Individual utilizations may exceed 1 when ``total_utilization > 1``;
+    use :func:`uunifast_discard` if per-task feasibility is required in
+    that regime.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be > 0, got {n}")
+    if total_utilization <= 0:
+        raise ConfigurationError(
+            f"total utilization must be > 0, got {total_utilization}")
+    utilizations = []
+    remaining = total_utilization
+    for i in range(1, n):
+        next_remaining = remaining * float(rng.random()) ** (1.0 / (n - i))
+        utilizations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilizations.append(remaining)
+    return utilizations
+
+
+def uunifast_discard(n: int, total_utilization: float,
+                     rng: np.random.Generator,
+                     max_tries: int = 10_000) -> list[float]:
+    """UUniFast with rejection of vectors containing ``u_i > 1``."""
+    if total_utilization > n:
+        raise ConfigurationError(
+            f"cannot split U={total_utilization} over {n} tasks with u_i <= 1")
+    for _ in range(max_tries):
+        candidate = uunifast(n, total_utilization, rng)
+        if max(candidate) <= 1.0:
+            return candidate
+    raise ConfigurationError(
+        f"uunifast_discard failed after {max_tries} tries "
+        f"(n={n}, U={total_utilization})")
+
+
+def log_uniform_periods(n: int, rng: np.random.Generator,
+                        low: float = 10.0, high: float = 1000.0) -> list[float]:
+    """Draw *n* periods log-uniformly from ``[low, high]`` (continuous)."""
+    if not (0 < low <= high):
+        raise ConfigurationError(f"need 0 < low <= high, got {low}, {high}")
+    return [float(math.exp(rng.uniform(math.log(low), math.log(high))))
+            for _ in range(n)]
+
+
+def grid_periods(n: int, rng: np.random.Generator,
+                 choices: Sequence[float] = DEFAULT_PERIOD_CHOICES) -> list[float]:
+    """Draw *n* periods from a fixed grid (keeps hyperperiods small)."""
+    if not choices:
+        raise ConfigurationError("period choices must be non-empty")
+    index = rng.integers(0, len(choices), size=n)
+    return [float(choices[i]) for i in index]
+
+
+def generate_taskset(
+    n: int,
+    utilization: float,
+    rng: np.random.Generator,
+    *,
+    period_choices: Sequence[float] = DEFAULT_PERIOD_CHOICES,
+    continuous_periods: bool = False,
+    period_range: tuple[float, float] = (10.0, 1000.0),
+    name_prefix: str = "T",
+    min_wcet: float = 1e-6,
+    deadline_range: tuple[float, float] | None = None,
+) -> TaskSet:
+    """Generate a feasible periodic task set.
+
+    Parameters
+    ----------
+    n:
+        Number of tasks.
+    utilization:
+        Target total worst-case utilization in ``(0, 1]``.
+    rng:
+        Source of randomness; pass ``numpy.random.default_rng(seed)``.
+    period_choices:
+        Grid of admissible periods (default keeps hyperperiods tame).
+    continuous_periods:
+        When true, draw log-uniform periods from *period_range* instead
+        of the grid (hyperperiods may then be huge; the simulator will
+        fall back to a job-count-based horizon).
+    name_prefix:
+        Tasks are named ``f"{name_prefix}{i}"`` starting at 1.
+    min_wcet:
+        Floor on generated WCETs so degenerate utilizations still yield
+        valid tasks (the set is rescaled afterwards to hit *utilization*
+        exactly).
+    deadline_range:
+        When given, relative deadlines are drawn uniformly from
+        ``[lo * period, hi * period]`` (clamped to ``[wcet, period]``),
+        producing a constrained-deadline set; the default ``None``
+        keeps deadlines implicit.  Constrained sets are validated with
+        the exact processor-demand test and regenerated-by-rescaling is
+        skipped (scaling WCETs would change the density non-linearly).
+    """
+    if not (0.0 < utilization <= 1.0):
+        raise ConfigurationError(
+            f"utilization must be in (0, 1] for a feasible EDF set, "
+            f"got {utilization}")
+    if deadline_range is not None:
+        lo, hi = deadline_range
+        if not (0.0 < lo <= hi <= 1.0):
+            raise ConfigurationError(
+                f"deadline_range must satisfy 0 < lo <= hi <= 1, got "
+                f"{deadline_range}")
+    utilizations = uunifast_discard(n, utilization, rng)
+    if continuous_periods:
+        periods = log_uniform_periods(n, rng, *period_range)
+    else:
+        periods = grid_periods(n, rng, period_choices)
+    tasks = []
+    for i, (u, period) in enumerate(zip(utilizations, periods), start=1):
+        wcet = min(max(u * period, min_wcet), period)
+        deadline = None
+        if deadline_range is not None:
+            deadline = float(rng.uniform(lo, hi)) * period
+            deadline = min(period, max(deadline, wcet))
+        tasks.append(PeriodicTask(name=f"{name_prefix}{i}", wcet=wcet,
+                                  period=period, deadline=deadline))
+    taskset = TaskSet(tasks)
+    if deadline_range is None:
+        # Tiny floors/clamps can nudge total utilization; rescale exactly.
+        if not math.isclose(taskset.utilization, utilization, rel_tol=1e-12):
+            taskset = taskset.scaled_to_utilization(utilization)
+        taskset.assert_feasible_edf()
+    else:
+        from repro.analysis.schedulability import processor_demand_test
+        if not processor_demand_test(taskset):
+            # Shrink deadlines made the set infeasible; relax them
+            # toward implicit until the exact test accepts it.
+            relaxed = []
+            for task in taskset:
+                relaxed.append(PeriodicTask(
+                    name=task.name, wcet=task.wcet, period=task.period,
+                    deadline=0.5 * (task.deadline + task.period)))
+            taskset = TaskSet(relaxed)
+            if not processor_demand_test(taskset):
+                taskset = TaskSet([
+                    PeriodicTask(name=t.name, wcet=t.wcet,
+                                 period=t.period) for t in taskset])
+    return taskset
+
+
+def generate_taskset_family(
+    count: int,
+    n: int,
+    utilization: float,
+    seed: int,
+    **kwargs,
+) -> list[TaskSet]:
+    """Generate *count* independent task sets from one master seed."""
+    master = np.random.default_rng(seed)
+    seeds = master.integers(0, 2**63 - 1, size=count)
+    return [generate_taskset(n, utilization, np.random.default_rng(int(s)),
+                             **kwargs)
+            for s in seeds]

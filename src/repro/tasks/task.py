@@ -1,0 +1,128 @@
+"""Periodic hard real-time task model.
+
+A task :math:`T_i = (C_i, P_i, D_i, \\phi_i)` releases a job every
+``period`` time units starting at ``phase``; each job requires at most
+``wcet`` units of work (expressed at maximum processor speed) and must
+finish within ``deadline`` time units of its release.  The model is the
+classic Liu & Layland periodic task extended with constrained deadlines
+(``deadline <= period``), which is what the DVS-EDF literature this
+repository reproduces assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.types import Time, Work, is_finite_positive
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """An immutable periodic task description.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a task set.
+    wcet:
+        Worst-case execution time at maximum processor speed
+        (strictly positive).
+    period:
+        Inter-release separation (strictly positive).
+    deadline:
+        Relative deadline; defaults to the period (implicit deadline).
+        Must satisfy ``0 < deadline <= period``.
+    phase:
+        Release offset of the first job (non-negative, default 0).
+    bcet:
+        Best-case execution time, used by execution-time models as the
+        lower bound of actual demand.  Defaults to 0 (no information).
+    """
+
+    name: str
+    wcet: Work
+    period: Time
+    deadline: Time | None = None
+    phase: Time = 0.0
+    bcet: Work = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("task name must be non-empty")
+        if not is_finite_positive(self.wcet):
+            raise ConfigurationError(
+                f"task {self.name!r}: wcet must be finite and > 0, got {self.wcet}")
+        if not is_finite_positive(self.period):
+            raise ConfigurationError(
+                f"task {self.name!r}: period must be finite and > 0, got {self.period}")
+        if self.deadline is None:
+            object.__setattr__(self, "deadline", self.period)
+        if not is_finite_positive(self.deadline):
+            raise ConfigurationError(
+                f"task {self.name!r}: deadline must be finite and > 0, "
+                f"got {self.deadline}")
+        if self.deadline > self.period:
+            raise ConfigurationError(
+                f"task {self.name!r}: deadline {self.deadline} exceeds "
+                f"period {self.period} (only constrained deadlines are supported)")
+        if self.wcet > self.deadline:
+            raise ConfigurationError(
+                f"task {self.name!r}: wcet {self.wcet} exceeds deadline "
+                f"{self.deadline}; the task can never meet its deadline")
+        if self.phase < 0:
+            raise ConfigurationError(
+                f"task {self.name!r}: phase must be >= 0, got {self.phase}")
+        if self.bcet < 0 or self.bcet > self.wcet:
+            raise ConfigurationError(
+                f"task {self.name!r}: bcet must lie in [0, wcet], got {self.bcet}")
+
+    @property
+    def utilization(self) -> float:
+        """Worst-case utilization ``wcet / period``."""
+        return self.wcet / self.period
+
+    @property
+    def density(self) -> float:
+        """Worst-case density ``wcet / min(deadline, period)``."""
+        return self.wcet / min(self.deadline, self.period)
+
+    @property
+    def implicit_deadline(self) -> bool:
+        """``True`` when the relative deadline equals the period."""
+        return self.deadline == self.period
+
+    def release_time(self, index: int) -> Time:
+        """Absolute release time of the *index*-th job (0-based)."""
+        if index < 0:
+            raise ValueError(f"job index must be >= 0, got {index}")
+        return self.phase + index * self.period
+
+    def absolute_deadline(self, index: int) -> Time:
+        """Absolute deadline of the *index*-th job (0-based)."""
+        return self.release_time(index) + self.deadline
+
+    def next_release_at_or_after(self, t: Time) -> Time:
+        """First release time that is ``>= t``."""
+        if t <= self.phase:
+            return self.phase
+        elapsed = t - self.phase
+        k = int(elapsed // self.period)
+        release = self.phase + k * self.period
+        if release < t:
+            release += self.period
+        return release
+
+    def scaled(self, wcet_factor: float, name: str | None = None) -> "PeriodicTask":
+        """Return a copy with the WCET multiplied by *wcet_factor*."""
+        if wcet_factor <= 0:
+            raise ConfigurationError(
+                f"wcet_factor must be > 0, got {wcet_factor}")
+        return PeriodicTask(
+            name=name if name is not None else self.name,
+            wcet=self.wcet * wcet_factor,
+            period=self.period,
+            deadline=self.deadline,
+            phase=self.phase,
+            bcet=min(self.bcet * wcet_factor, self.wcet * wcet_factor),
+        )

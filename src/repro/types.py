@@ -1,0 +1,84 @@
+"""Shared scalar types and tolerant floating-point comparisons.
+
+Simulation time, processor speed and work are plain ``float`` values.
+Repeated event arithmetic accumulates rounding error on the order of a
+few ulps, so every ordering decision that could manufacture a spurious
+deadline miss (or hide a real one) goes through the tolerant comparison
+helpers defined here.  The absolute tolerance :data:`TIME_EPS` is far
+below any physically meaningful interval in the simulated systems
+(periods are milliseconds to seconds) while far above accumulated
+float error for the simulation horizons used.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TypeAlias
+
+#: Simulation time in seconds (or any consistent unit).
+Time: TypeAlias = float
+
+#: Processor work expressed in *max-speed seconds*: the wall time the
+#: work would take at speed 1.0.
+Work: TypeAlias = float
+
+#: Normalized processor speed in ``(0, 1]`` where 1.0 is the maximum
+#: frequency of the processor.
+Speed: TypeAlias = float
+
+#: Energy in the (arbitrary but consistent) units of the power model.
+Energy: TypeAlias = float
+
+#: Absolute tolerance for time/work comparisons.
+TIME_EPS: float = 1e-9
+
+
+def approx_le(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return ``True`` if *a* is less than or approximately equal to *b*."""
+    return a <= b + eps
+
+
+def approx_ge(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return ``True`` if *a* is greater than or approximately equal to *b*."""
+    return a >= b - eps
+
+
+def approx_eq(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return ``True`` if *a* and *b* are within *eps* of each other."""
+    return abs(a - b) <= eps
+
+
+def approx_lt(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return ``True`` if *a* is strictly below *b* beyond the tolerance."""
+    return a < b - eps
+
+
+def approx_gt(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return ``True`` if *a* is strictly above *b* beyond the tolerance."""
+    return a > b + eps
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp *value* into the closed interval ``[low, high]``.
+
+    Raises :class:`ValueError` if the interval is empty (``low > high``).
+    """
+    if low > high:
+        raise ValueError(f"empty clamp interval [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def snap_nonnegative(value: float, eps: float = TIME_EPS) -> float:
+    """Snap tiny negative float noise to exactly zero.
+
+    Values below ``-eps`` are genuine negatives and are returned
+    unchanged so callers can still detect logic errors.
+    """
+    if -eps <= value < 0.0:
+        return 0.0
+    return value
+
+
+def is_finite_positive(value: float) -> bool:
+    """Return ``True`` for a finite, strictly positive float."""
+    return math.isfinite(value) and value > 0.0

@@ -1,0 +1,71 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cpu.power import PolynomialPowerModel
+from repro.cpu.processor import Processor
+from repro.cpu.profiles import ideal_processor
+from repro.cpu.speed import ContinuousScale
+from repro.tasks.execution import UniformExecution, WorstCaseExecution
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+@pytest.fixture
+def two_task_set() -> TaskSet:
+    """A tiny hand-analysable set: U = 0.5, hyperperiod 20."""
+    return TaskSet([
+        PeriodicTask("A", wcet=1.0, period=4.0),
+        PeriodicTask("B", wcet=2.5, period=10.0),
+    ])
+
+
+@pytest.fixture
+def three_task_set() -> TaskSet:
+    """U = 0.75 with a long task; hyperperiod 40."""
+    return TaskSet([
+        PeriodicTask("A", wcet=1.0, period=5.0),
+        PeriodicTask("B", wcet=2.0, period=8.0),
+        PeriodicTask("C", wcet=12.0, period=40.0),
+    ])
+
+
+@pytest.fixture
+def saturated_task_set() -> TaskSet:
+    """Exactly U = 1.0 — the tightest feasible implicit-deadline set."""
+    return TaskSet([
+        PeriodicTask("A", wcet=2.0, period=4.0),
+        PeriodicTask("B", wcet=5.0, period=10.0),
+    ])
+
+
+@pytest.fixture
+def processor() -> Processor:
+    """Continuous ideal processor with cubic power."""
+    return ideal_processor(min_speed=0.05)
+
+
+@pytest.fixture
+def cubic_processor() -> Processor:
+    """Continuous processor with an explicit very low floor."""
+    return Processor(scale=ContinuousScale(min_speed=0.01),
+                     power_model=PolynomialPowerModel(alpha=3.0))
+
+
+@pytest.fixture
+def worst_case_model() -> WorstCaseExecution:
+    return WorstCaseExecution()
+
+
+@pytest.fixture
+def half_model() -> UniformExecution:
+    """Uniform demand in [0.5, 1.0] x WCET, fixed seed."""
+    return UniformExecution(low=0.5, high=1.0, seed=42)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

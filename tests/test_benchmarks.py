@@ -1,0 +1,50 @@
+"""Tests for the benchmark task sets."""
+
+import pytest
+
+from repro.tasks.benchmarks import (
+    BENCHMARK_TASKSETS,
+    avionics_taskset,
+    cnc_taskset,
+    ins_taskset,
+    load_benchmark,
+)
+
+
+class TestSuiteCharacteristics:
+    def test_cnc_shape(self):
+        ts = cnc_taskset()
+        assert len(ts) == 8
+        assert 0.45 <= ts.utilization <= 0.55
+
+    def test_avionics_shape(self):
+        ts = avionics_taskset()
+        assert len(ts) == 17
+        assert 0.80 <= ts.utilization <= 0.88
+
+    def test_ins_shape(self):
+        ts = ins_taskset()
+        assert len(ts) == 6
+        assert 0.68 <= ts.utilization <= 0.78
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARK_TASKSETS))
+    def test_all_feasible(self, name):
+        load_benchmark(name).assert_feasible_edf()
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARK_TASKSETS))
+    def test_hyperperiods_computable(self, name):
+        assert load_benchmark(name).hyperperiod() > 0
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARK_TASKSETS))
+    def test_mixed_rates(self, name):
+        ts = load_benchmark(name)
+        assert ts.max_period / ts.min_period >= 10
+
+
+class TestLoader:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            load_benchmark("nope")
+
+    def test_fresh_instances(self):
+        assert load_benchmark("cnc") is not load_benchmark("cnc")

@@ -1,0 +1,99 @@
+"""Tests for the repro CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_list_outputs_components(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "lpSTA" in out
+        assert "xscale" in out
+        assert "avionics" in out
+        assert "fig1" in out
+
+
+class TestRun:
+    def test_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-T1" in out
+        assert "generic4" in out
+
+    def test_quick_fig6_with_export(self, capsys, tmp_path):
+        assert main(["run", "fig6", "--quick",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-F6" in out
+        json_file = tmp_path / "exp_f6.json"
+        assert json_file.exists()
+        payload = json.loads(json_file.read_text())
+        assert payload["experiment"] == "EXP-F6"
+        assert (tmp_path / "exp_f6.csv").exists()
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_generated_workload(self, capsys):
+        assert main(["simulate", "--policy", "lpSEH", "--tasks", "4",
+                     "--utilization", "0.7", "--horizon", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "policy=lpSEH" in out
+        assert "misses=0" in out
+
+    def test_benchmark_with_gantt(self, capsys):
+        assert main(["simulate", "--benchmark", "cnc",
+                     "--policy", "static", "--horizon", "300",
+                     "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "gantt:" in out
+
+    def test_discrete_profile(self, capsys):
+        assert main(["simulate", "--processor", "generic4",
+                     "--policy", "ccEDF", "--horizon", "500"]) == 0
+        assert "misses=0" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_policy_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "bogus"])
+
+
+class TestSimulateExtensions:
+    def test_sporadic_arrivals_option(self, capsys):
+        assert main(["simulate", "--policy", "lpSEH",
+                     "--arrivals", "jitter", "--jitter", "0.6",
+                     "--tasks", "4", "--horizon", "400"]) == 0
+        assert "misses=0" in capsys.readouterr().out
+
+    def test_bursty_arrivals_option(self, capsys):
+        assert main(["simulate", "--policy", "static",
+                     "--arrivals", "bursty", "--tasks", "3",
+                     "--horizon", "400"]) == 0
+        assert "misses=0" in capsys.readouterr().out
+
+    def test_idle_management_options(self, capsys):
+        for idle in ("sleep", "procrastinate"):
+            assert main(["simulate", "--policy", "none",
+                         "--idle", idle, "--tasks", "3",
+                         "--utilization", "0.4",
+                         "--horizon", "400"]) == 0
+            assert "misses=0" in capsys.readouterr().out
+
+    def test_critical_speed_option(self, capsys):
+        assert main(["simulate", "--policy", "lpSTA",
+                     "--critical-speed", "--tasks", "3",
+                     "--horizon", "400"]) == 0
+        assert "cs-lpSTA" in capsys.readouterr().out

@@ -1,0 +1,145 @@
+"""Tests for repro.analysis.demand."""
+
+import pytest
+
+from repro.analysis.demand import (
+    busy_window_end,
+    dbf,
+    dbf_task,
+    deadlines_within,
+    future_demand,
+    future_demand_linear_bound,
+)
+from repro.errors import ConfigurationError
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+@pytest.fixture
+def task() -> PeriodicTask:
+    return PeriodicTask("T", wcet=2.0, period=10.0)
+
+
+class TestDbf:
+    def test_before_first_deadline(self, task):
+        assert dbf_task(task, 9.9) == 0.0
+
+    def test_at_first_deadline(self, task):
+        assert dbf_task(task, 10.0) == 2.0
+
+    def test_multiple_periods(self, task):
+        assert dbf_task(task, 35.0) == 6.0  # deadlines at 10, 20, 30
+
+    def test_constrained_deadline(self):
+        task = PeriodicTask("T", wcet=2.0, period=10.0, deadline=4.0)
+        assert dbf_task(task, 4.0) == 2.0
+        assert dbf_task(task, 13.9) == 2.0
+        assert dbf_task(task, 14.0) == 4.0
+
+    def test_negative_interval_rejected(self, task):
+        with pytest.raises(ConfigurationError):
+            dbf_task(task, -1.0)
+
+    def test_taskset_sum(self, two_task_set):
+        # A: deadlines at 4,8,12,16,20; B: at 10, 20.
+        assert dbf(two_task_set, 20.0) == pytest.approx(5 * 1.0 + 2 * 2.5)
+
+
+class TestFutureDemand:
+    def test_no_jobs_fit(self, task):
+        # Next release 5, deadline at 15; d=14 fits nothing.
+        assert future_demand(task, next_release=5.0, d=14.0) == 0.0
+
+    def test_one_job_fits(self, task):
+        assert future_demand(task, next_release=5.0, d=15.0) == 2.0
+
+    def test_several_jobs(self, task):
+        # Releases 5, 15, 25 with deadlines 15, 25, 35.
+        assert future_demand(task, next_release=5.0, d=35.0) == 6.0
+
+    def test_exact_boundary(self, task):
+        assert future_demand(task, next_release=0.0, d=10.0) == 2.0
+        assert future_demand(task, next_release=0.0, d=9.999) == 0.0
+
+
+class TestLinearBound:
+    @pytest.mark.parametrize("d", [5.0, 10.0, 14.9, 15.0, 27.3, 100.0])
+    def test_dominates_true_demand_implicit(self, task, d):
+        nr = 5.0
+        assert future_demand_linear_bound(task, nr, d) >= \
+            future_demand(task, nr, d) - 1e-12
+
+    @pytest.mark.parametrize("d", [5.0, 9.0, 12.0, 19.0, 50.0])
+    def test_dominates_true_demand_constrained(self, d):
+        task = PeriodicTask("T", wcet=2.0, period=10.0, deadline=4.0)
+        nr = 5.0
+        assert future_demand_linear_bound(task, nr, d) >= \
+            future_demand(task, nr, d) - 1e-12
+
+    def test_zero_before_release(self, task):
+        assert future_demand_linear_bound(task, 5.0, 4.0) == 0.0
+
+    def test_linear_slope_is_utilization(self, task):
+        b1 = future_demand_linear_bound(task, 0.0, 10.0)
+        b2 = future_demand_linear_bound(task, 0.0, 20.0)
+        assert b2 - b1 == pytest.approx(10.0 * task.utilization)
+
+
+class TestDeadlinesWithin:
+    def test_enumeration(self, two_task_set):
+        nr = {"A": 4.0, "B": 10.0}
+        points = deadlines_within(two_task_set.tasks, nr, 0.0, 20.0)
+        assert points == [8.0, 12.0, 16.0, 20.0]
+
+    def test_open_start_closed_end(self, task):
+        points = deadlines_within([task], {"T": 0.0}, 10.0, 30.0)
+        assert points == [20.0, 30.0]
+
+    def test_empty_interval(self, task):
+        assert deadlines_within([task], {"T": 0.0}, 10.0, 5.0) == []
+
+    def test_dedup_across_tasks(self):
+        a = PeriodicTask("A", 1.0, 10.0)
+        b = PeriodicTask("B", 1.0, 5.0)
+        points = deadlines_within([a, b], {"A": 0.0, "B": 0.0}, 0.0, 10.0)
+        assert points == [5.0, 10.0]
+
+
+class TestBusyWindow:
+    def test_no_pending_work(self, two_task_set):
+        nr = {"A": 4.0, "B": 10.0}
+        end = busy_window_end(0.0, two_task_set.tasks, nr, start=0.0,
+                              cap=100.0)
+        assert end == 0.0
+
+    def test_isolated_work_no_arrivals(self, task):
+        end = busy_window_end(3.0, [task], {"T": 1000.0}, start=0.0,
+                              cap=100.0)
+        assert end == pytest.approx(3.0)
+
+    def test_work_plus_one_arrival(self, task):
+        # Pending 6; T releases at 5 (inside) adding 2 -> 8; next
+        # release at 15 is outside the 8-window, so end = 8.
+        end = busy_window_end(6.0, [task], {"T": 5.0}, start=0.0,
+                              cap=100.0)
+        assert end == pytest.approx(8.0)
+
+    def test_cascade(self, task):
+        # Pending 14: the window absorbs the release at 5 (14 -> 16),
+        # which pulls in the release at 15 (16 -> 18); the next release
+        # at 25 stays outside -> fixed point 18.
+        end = busy_window_end(14.0, [task], {"T": 5.0}, start=0.0,
+                              cap=100.0)
+        assert end == pytest.approx(18.0)
+
+    def test_cap_respected_at_full_load(self, saturated_task_set):
+        nr = {"A": 0.0, "B": 0.0}
+        end = busy_window_end(7.0, saturated_task_set.tasks, nr,
+                              start=0.0, cap=50.0)
+        assert end == 50.0
+
+    def test_release_exactly_at_window_end_excluded(self, task):
+        # Pending 5; release exactly at 5 is not inside [0, 5).
+        end = busy_window_end(5.0, [task], {"T": 5.0}, start=0.0,
+                              cap=100.0)
+        assert end == pytest.approx(5.0)

@@ -1,0 +1,94 @@
+"""Engine robustness: reuse, determinism, and boundary conditions."""
+
+import pytest
+
+from repro.cpu.processor import Processor
+from repro.errors import DeadlineMissError
+from repro.policies.registry import make_policy
+from repro.sim.engine import Simulator, simulate
+from repro.tasks.execution import UniformExecution, WorstCaseExecution
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+class TestSimulatorReuse:
+    def test_run_twice_identical(self, three_task_set, half_model,
+                                 processor):
+        sim = Simulator(three_task_set, processor, make_policy("lpSTA"),
+                        half_model, horizon=80.0)
+        first = sim.run()
+        second = sim.run()
+        assert first.total_energy == second.total_energy
+        assert first.jobs_completed == second.jobs_completed
+        assert first.switch_count == second.switch_count
+
+    def test_policy_instance_reusable_across_workloads(self, processor,
+                                                       half_model):
+        policy = make_policy("ccEDF")
+        a = TaskSet([PeriodicTask("A", 1.0, 5.0)])
+        b = TaskSet([PeriodicTask("B", 2.0, 8.0),
+                     PeriodicTask("C", 1.0, 4.0)])
+        ra = simulate(a, processor, policy, half_model, horizon=40.0)
+        rb = simulate(b, processor, policy, half_model, horizon=40.0)
+        assert not ra.missed and not rb.missed
+        # Re-running the first workload reproduces its result exactly.
+        ra2 = simulate(a, processor, policy, half_model, horizon=40.0)
+        assert ra2.total_energy == ra.total_energy
+
+
+class TestBoundaries:
+    def test_horizon_shorter_than_first_period(self, processor):
+        ts = TaskSet([PeriodicTask("T", 1.0, 100.0)])
+        result = simulate(ts, processor, make_policy("none"),
+                          WorstCaseExecution(), horizon=5.0)
+        assert result.jobs_released == 1
+        assert result.jobs_completed == 1
+
+    def test_release_exactly_at_horizon_not_created(self, processor):
+        ts = TaskSet([PeriodicTask("T", 1.0, 10.0)])
+        result = simulate(ts, processor, make_policy("none"),
+                          WorstCaseExecution(), horizon=20.0)
+        # Releases at 0 and 10; the one at 20 is outside.
+        assert result.jobs_released == 2
+
+    def test_all_phases_in_future(self, processor):
+        ts = TaskSet([PeriodicTask("T", 1.0, 10.0, phase=50.0)])
+        result = simulate(ts, processor, make_policy("lpSEH"),
+                          WorstCaseExecution(), horizon=100.0)
+        assert result.jobs_released == 5
+        assert result.idle_time >= 50.0
+        assert not result.missed
+
+    def test_single_job_workload(self, processor):
+        ts = TaskSet([PeriodicTask("T", 3.0, 1000.0)])
+        result = simulate(ts, processor, make_policy("lpSTA"),
+                          WorstCaseExecution(), horizon=100.0,
+                          record_trace=True)
+        assert result.jobs_completed == 1
+        assert not result.missed
+
+    def test_miss_error_carries_context(self, processor):
+        ts = TaskSet([PeriodicTask("T", 9.0, 10.0)])
+
+        class TooSlow(make_policy("none").__class__):
+            def select_speed(self, job, ctx):
+                return 0.5
+
+        with pytest.raises(DeadlineMissError) as excinfo:
+            simulate(ts, processor, TooSlow(), WorstCaseExecution(),
+                     horizon=20.0)
+        err = excinfo.value
+        assert err.task == "T"
+        assert err.deadline == pytest.approx(10.0)
+
+
+class TestDeterminismAcrossPolicies:
+    def test_same_workload_same_jobs(self, three_task_set, processor):
+        model = UniformExecution(low=0.4, high=1.0, seed=99)
+        released = set()
+        for name in ("none", "static", "lpSTA"):
+            result = simulate(three_task_set, processor,
+                              make_policy(name), model, horizon=80.0)
+            released.add(result.jobs_released)
+        # Identical release pattern regardless of speed decisions.
+        assert len(released) == 1

@@ -1,0 +1,78 @@
+"""Tests for repro.sim.events.EventQueue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.RELEASE, "b")
+        q.push(1.0, EventKind.RELEASE, "a")
+        q.push(3.0, EventKind.RELEASE, "c")
+        assert [q.pop().payload for _ in range(3)] == ["a", "c", "b"]
+
+    def test_completion_before_release_at_same_time(self):
+        q = EventQueue()
+        q.push(2.0, EventKind.RELEASE, "rel")
+        q.push(2.0, EventKind.COMPLETION, "done")
+        assert q.pop().payload == "done"
+        assert q.pop().payload == "rel"
+
+    def test_fifo_within_same_time_and_kind(self):
+        q = EventQueue()
+        for name in ("x", "y", "z"):
+            q.push(1.0, EventKind.RELEASE, name)
+        assert [q.pop().payload for _ in range(3)] == ["x", "y", "z"]
+
+    def test_timer_after_release(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.TIMER, "t")
+        q.push(1.0, EventKind.RELEASE, "r")
+        assert q.pop().payload == "r"
+
+
+class TestAccess:
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, EventKind.RELEASE)
+        assert q and len(q) == 1
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.RELEASE, "a")
+        assert q.peek().payload == "a"
+        assert len(q) == 1
+
+    def test_next_time(self):
+        q = EventQueue()
+        assert q.next_time() is None
+        q.push(7.0, EventKind.RELEASE)
+        assert q.next_time() == 7.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().peek()
+
+
+class TestMonotonicity:
+    def test_scheduling_into_the_past_rejected(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.RELEASE)
+        q.pop()
+        with pytest.raises(SimulationError, match="before"):
+            q.push(4.0, EventKind.RELEASE)
+
+    def test_scheduling_at_popped_time_allowed(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.RELEASE)
+        q.pop()
+        q.push(5.0, EventKind.COMPLETION)  # same instant is fine
+        assert q.pop().time == 5.0

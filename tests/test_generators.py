@@ -1,0 +1,156 @@
+"""Tests for repro.tasks.generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tasks.generators import (
+    DEFAULT_PERIOD_CHOICES,
+    generate_taskset,
+    generate_taskset_family,
+    grid_periods,
+    log_uniform_periods,
+    uunifast,
+    uunifast_discard,
+)
+
+
+class TestUUniFast:
+    def test_sums_to_target(self, rng):
+        for u in (0.1, 0.5, 0.95):
+            values = uunifast(8, u, rng)
+            assert sum(values) == pytest.approx(u)
+
+    def test_all_positive(self, rng):
+        for _ in range(50):
+            assert all(v > 0 for v in uunifast(5, 0.9, rng))
+
+    def test_single_task_gets_everything(self, rng):
+        assert uunifast(1, 0.7, rng) == [pytest.approx(0.7)]
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ConfigurationError):
+            uunifast(0, 0.5, rng)
+        with pytest.raises(ConfigurationError):
+            uunifast(3, 0.0, rng)
+
+    def test_distribution_is_symmetric(self, rng):
+        # Each slot's marginal mean should be U/n (unbiased simplex).
+        n, u, samples = 4, 0.8, 3000
+        sums = np.zeros(n)
+        for _ in range(samples):
+            sums += np.array(uunifast(n, u, rng))
+        means = sums / samples
+        assert np.allclose(means, u / n, atol=0.02)
+
+
+class TestUUniFastDiscard:
+    def test_respects_per_task_cap(self, rng):
+        for _ in range(100):
+            values = uunifast_discard(3, 0.99, rng)
+            assert max(values) <= 1.0
+
+    def test_impossible_target_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            uunifast_discard(2, 2.5, rng)
+
+
+class TestPeriods:
+    def test_log_uniform_in_range(self, rng):
+        periods = log_uniform_periods(200, rng, low=10.0, high=1000.0)
+        assert all(10.0 <= p <= 1000.0 for p in periods)
+
+    def test_log_uniform_spreads_decades(self, rng):
+        periods = log_uniform_periods(2000, rng, low=10.0, high=1000.0)
+        below_100 = sum(1 for p in periods if p < 100.0)
+        # Log-uniform: half the mass below the geometric midpoint (100).
+        assert below_100 / len(periods) == pytest.approx(0.5, abs=0.05)
+
+    def test_grid_periods_come_from_grid(self, rng):
+        periods = grid_periods(100, rng)
+        assert all(p in DEFAULT_PERIOD_CHOICES for p in periods)
+
+    def test_invalid_ranges(self, rng):
+        with pytest.raises(ConfigurationError):
+            log_uniform_periods(5, rng, low=0.0, high=10.0)
+        with pytest.raises(ConfigurationError):
+            grid_periods(5, rng, choices=[])
+
+
+class TestGenerateTaskset:
+    def test_exact_utilization(self, rng):
+        ts = generate_taskset(8, 0.75, rng)
+        assert ts.utilization == pytest.approx(0.75)
+
+    def test_task_count_and_names(self, rng):
+        ts = generate_taskset(5, 0.5, rng, name_prefix="X")
+        assert len(ts) == 5
+        assert [t.name for t in ts] == ["X1", "X2", "X3", "X4", "X5"]
+
+    def test_feasibility_enforced(self, rng):
+        ts = generate_taskset(6, 1.0, rng)
+        ts.assert_feasible_edf()
+
+    def test_invalid_utilization_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_taskset(4, 1.2, rng)
+        with pytest.raises(ConfigurationError):
+            generate_taskset(4, 0.0, rng)
+
+    def test_reproducible_from_seed(self):
+        a = generate_taskset(5, 0.8, np.random.default_rng(3))
+        b = generate_taskset(5, 0.8, np.random.default_rng(3))
+        assert [(t.wcet, t.period) for t in a] == \
+               [(t.wcet, t.period) for t in b]
+
+    def test_continuous_periods_mode(self, rng):
+        ts = generate_taskset(5, 0.6, rng, continuous_periods=True,
+                              period_range=(20.0, 50.0))
+        assert all(20.0 <= t.period <= 50.0 for t in ts)
+
+    def test_wcet_never_exceeds_period(self, rng):
+        for _ in range(20):
+            ts = generate_taskset(3, 0.99, rng)
+            assert all(t.wcet <= t.period for t in ts)
+
+
+class TestConstrainedDeadlines:
+    def test_deadlines_inside_requested_band(self, rng):
+        ts = generate_taskset(6, 0.5, rng, deadline_range=(0.6, 0.9))
+        for task in ts:
+            assert task.deadline <= task.period + 1e-12
+            assert task.deadline >= task.wcet - 1e-12
+
+    def test_produces_constrained_set(self, rng):
+        ts = generate_taskset(6, 0.5, rng, deadline_range=(0.6, 0.9))
+        assert not ts.implicit_deadlines
+
+    def test_result_is_feasible(self, rng):
+        from repro.analysis.schedulability import processor_demand_test
+        for _ in range(10):
+            ts = generate_taskset(5, 0.8, rng,
+                                  deadline_range=(0.5, 0.95))
+            assert processor_demand_test(ts)
+            ts.assert_feasible_edf()
+
+    def test_invalid_range_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_taskset(3, 0.5, rng, deadline_range=(0.0, 0.9))
+        with pytest.raises(ConfigurationError):
+            generate_taskset(3, 0.5, rng, deadline_range=(0.9, 0.5))
+
+
+class TestFamily:
+    def test_family_size_and_independence(self):
+        family = generate_taskset_family(4, 5, 0.7, seed=11)
+        assert len(family) == 4
+        signatures = {tuple((t.wcet, t.period) for t in ts)
+                      for ts in family}
+        assert len(signatures) == 4  # all distinct
+
+    def test_family_reproducible(self):
+        a = generate_taskset_family(3, 4, 0.6, seed=9)
+        b = generate_taskset_family(3, 4, 0.6, seed=9)
+        for ts_a, ts_b in zip(a, b):
+            assert [(t.wcet, t.period) for t in ts_a] == \
+                   [(t.wcet, t.period) for t in ts_b]

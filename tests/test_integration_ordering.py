@@ -1,0 +1,106 @@
+"""Integration: energy-ordering invariants across policies.
+
+These pin down the qualitative "shape" the reproduction must preserve:
+who saves energy relative to whom, and how savings react to the
+workload knobs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu.profiles import ideal_processor
+from repro.experiments.energy_norm import jensen_lower_bound
+from repro.experiments.runner import run_suite
+from repro.policies.registry import ALL_POLICY_NAMES
+from repro.tasks.execution import UniformExecution, WorstCaseExecution
+from repro.tasks.generators import generate_taskset
+
+
+def suite(u=0.8, seed=101, low=0.4, horizon=2400.0, n=6):
+    ts = generate_taskset(n, u, np.random.default_rng(seed))
+    model = UniformExecution(low=low, high=1.0, seed=seed)
+    return run_suite(ts, ALL_POLICY_NAMES, ideal_processor(), model,
+                     horizon=horizon), ts, model, horizon
+
+
+class TestGlobalOrdering:
+    def test_every_dvs_policy_beats_none(self):
+        result, *_ = suite()
+        for name in ALL_POLICY_NAMES:
+            if name == "none":
+                continue
+            assert result.normalized(name) < 1.0, name
+
+    def test_dynamic_policies_beat_static(self):
+        result, *_ = suite()
+        static = result.normalized("static")
+        for name in ("ccEDF", "DRA", "laEDF", "lpSEH", "lpSTA",
+                     "clairvoyant"):
+            assert result.normalized(name) < static + 1e-9, name
+
+    def test_clairvoyant_is_the_floor(self):
+        for seed in (101, 202, 303):
+            result, *_ = suite(seed=seed)
+            oracle = result.normalized("clairvoyant")
+            for name in ALL_POLICY_NAMES:
+                if name == "clairvoyant":
+                    continue
+                assert oracle <= result.normalized(name) * 1.02, (
+                    f"{name} beat the oracle at seed={seed}")
+
+    def test_jensen_bound_below_everything(self):
+        result, ts, model, horizon = suite()
+        bound = jensen_lower_bound(ts, model, ideal_processor(), horizon)
+        for name in ALL_POLICY_NAMES:
+            assert bound <= result.results[name].total_energy + 1e-9
+
+    def test_paper_policies_competitive_with_best_baseline(self):
+        # lpSTA must come within 10% of the best baseline policy on a
+        # typical workload (it usually wins outright).
+        result, *_ = suite()
+        best_baseline = min(
+            result.normalized(n)
+            for n in ("ccEDF", "lppsEDF", "DRA", "laEDF"))
+        assert result.normalized("lpSTA") <= best_baseline * 1.10
+
+
+class TestWorkloadTrends:
+    def test_savings_grow_as_bcwc_falls(self):
+        # Lower actual demand -> more slack -> lpSTA saves more.
+        values = []
+        for low in (0.9, 0.5, 0.2):
+            result, *_ = suite(low=low, seed=404)
+            values.append(result.normalized("lpSTA"))
+        assert values[0] > values[1] > values[2]
+
+    def test_energy_rises_with_utilization(self):
+        values = []
+        for u in (0.4, 0.7, 0.95):
+            result, *_ = suite(u=u, seed=505)
+            values.append(result.normalized("lpSTA"))
+        assert values[0] < values[1] < values[2]
+
+    def test_worst_case_workload_collapses_to_static(self):
+        # With every job at WCET no dynamic slack exists: the paper's
+        # policy degenerates to statically scaled EDF.
+        ts = generate_taskset(6, 0.8, np.random.default_rng(606))
+        result = run_suite(ts, ("static", "lpSTA", "lpSEH"),
+                           ideal_processor(), WorstCaseExecution(),
+                           horizon=2400.0)
+        static = result.normalized("static")
+        assert result.normalized("lpSTA") == pytest.approx(static,
+                                                           rel=1e-6)
+        assert result.normalized("lpSEH") == pytest.approx(static,
+                                                           rel=1e-6)
+
+
+class TestSuiteResultApi:
+    def test_baseline_is_none(self):
+        result, *_ = suite()
+        assert result.normalized("none") == pytest.approx(1.0)
+        assert result.baseline is result.results["none"]
+
+    def test_miss_counts_zero(self):
+        result, *_ = suite()
+        for name in ALL_POLICY_NAMES:
+            assert result.miss_count(name) == 0

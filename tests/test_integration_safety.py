@@ -1,0 +1,106 @@
+"""Integration: hard real-time safety across randomized workloads.
+
+The non-negotiable claim of the whole repository: every policy (except
+the documented laEDF-raw ablation) meets every deadline on every
+feasible workload.  These sweeps cover the utilization range, demand
+variability and several demand shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu.profiles import generic4_processor, ideal_processor
+from repro.policies.registry import ALL_POLICY_NAMES, make_policy
+from repro.sim.engine import simulate
+from repro.tasks.execution import (
+    BimodalExecution,
+    MarkovExecution,
+    SinusoidalExecution,
+    UniformExecution,
+)
+from repro.tasks.generators import generate_taskset
+
+UTILIZATIONS = (0.4, 0.8, 0.98)
+SEEDS = (11, 12, 13)
+
+
+def _taskset(u, seed, n=5):
+    return generate_taskset(n, u, np.random.default_rng(seed))
+
+
+class TestNoMissSweeps:
+    @pytest.mark.parametrize("policy_name", ALL_POLICY_NAMES)
+    @pytest.mark.parametrize("u", UTILIZATIONS)
+    def test_uniform_demand(self, policy_name, u):
+        for seed in SEEDS:
+            ts = _taskset(u, seed)
+            result = simulate(
+                ts, ideal_processor(), make_policy(policy_name),
+                UniformExecution(low=0.2, high=1.0, seed=seed),
+                horizon=min(ts.default_horizon(), 4000.0))
+            assert not result.missed, (
+                f"{policy_name} missed at U={u} seed={seed}")
+
+    @pytest.mark.parametrize("policy_name", ALL_POLICY_NAMES)
+    def test_bursty_bimodal_demand(self, policy_name):
+        ts = _taskset(0.95, 17, n=6)
+        result = simulate(
+            ts, ideal_processor(), make_policy(policy_name),
+            BimodalExecution(light=0.05, heavy=1.0, p_heavy=0.5, seed=17),
+            horizon=min(ts.default_horizon(), 4000.0))
+        assert not result.missed
+
+    @pytest.mark.parametrize("policy_name", ALL_POLICY_NAMES)
+    def test_discrete_levels_processor(self, policy_name):
+        ts = _taskset(0.9, 19)
+        result = simulate(
+            ts, generic4_processor(), make_policy(policy_name),
+            UniformExecution(low=0.3, high=1.0, seed=19),
+            horizon=min(ts.default_horizon(), 4000.0))
+        assert not result.missed
+
+    @pytest.mark.parametrize("policy_name", ALL_POLICY_NAMES)
+    def test_constrained_deadline_sets(self, policy_name):
+        # Constrained deadlines exercise the density-vs-demand paths
+        # and the deadline-correction terms in both slack analyses.
+        for seed in (41, 43):
+            ts = generate_taskset(5, 0.7, np.random.default_rng(seed),
+                                  deadline_range=(0.55, 0.95))
+            result = simulate(
+                ts, ideal_processor(), make_policy(policy_name),
+                UniformExecution(low=0.3, high=1.0, seed=seed),
+                horizon=min(ts.default_horizon(), 4000.0))
+            assert not result.missed, (
+                f"{policy_name} missed on constrained set seed={seed}")
+
+    @pytest.mark.parametrize("model", [
+        SinusoidalExecution(offset=0.55, amplitude=0.4, cycle=12, seed=5),
+        MarkovExecution(light=0.1, heavy=1.0, p_stay=0.9, seed=5),
+    ], ids=["sinusoid", "markov"])
+    def test_paper_policies_on_shaped_demand(self, model):
+        ts = _taskset(0.9, 23, n=6)
+        for name in ("lpSEH", "lpSTA"):
+            result = simulate(ts, ideal_processor(), make_policy(name),
+                              model,
+                              horizon=min(ts.default_horizon(), 4000.0))
+            assert not result.missed
+
+
+class TestEnergyAccounting:
+    @pytest.mark.parametrize("policy_name", ("none", "ccEDF", "lpSTA"))
+    def test_components_sum_to_total(self, policy_name):
+        ts = _taskset(0.8, 29)
+        result = simulate(ts, ideal_processor(), make_policy(policy_name),
+                          UniformExecution(low=0.5, seed=29),
+                          horizon=2000.0)
+        assert result.total_energy == pytest.approx(
+            result.busy_energy + result.idle_energy
+            + result.switch_energy)
+
+    def test_time_components_cover_horizon(self):
+        ts = _taskset(0.8, 31)
+        result = simulate(ts, ideal_processor(), make_policy("lpSEH"),
+                          UniformExecution(low=0.5, seed=31),
+                          horizon=2000.0)
+        covered = result.busy_time + result.idle_time + result.switch_time
+        assert covered == pytest.approx(2000.0, rel=1e-6)

@@ -1,0 +1,62 @@
+"""Tests for experiment result export (CSV/JSON)."""
+
+import csv
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import FigureData, SeriesPoint, TableData
+from repro.experiments.io import read_json, write_csv, write_json
+
+
+@pytest.fixture
+def figure():
+    fig = FigureData("EXP-X", "a title", "x", "y")
+    fig.add_point("alpha", SeriesPoint(1.0, 0.5, 0.05, 10))
+    fig.add_point("alpha", SeriesPoint(2.0, 0.6, 0.04, 10))
+    fig.add_point("beta", SeriesPoint(1.0, 0.7, 0.02, 10,
+                                      extra={"misses": 0}))
+    fig.notes.append("a note")
+    return fig
+
+
+class TestCsv:
+    def test_roundtrip_rows(self, figure, tmp_path):
+        path = write_csv(figure, tmp_path / "fig.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert rows[0]["series"] == "alpha"
+        assert float(rows[0]["mean"]) == 0.5
+
+    def test_extra_columns_present(self, figure, tmp_path):
+        path = write_csv(figure, tmp_path / "fig.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[2]["misses"] == "0"
+
+    def test_creates_parent_dirs(self, figure, tmp_path):
+        path = write_csv(figure, tmp_path / "deep" / "dir" / "fig.csv")
+        assert path.exists()
+
+    def test_empty_figure_rejected(self, tmp_path):
+        empty = FigureData("E", "t", "x", "y")
+        with pytest.raises(ExperimentError):
+            write_csv(empty, tmp_path / "nope.csv")
+
+    def test_table_export(self, tmp_path):
+        table = TableData("T", "t", columns=("name", "value"))
+        table.add_row(name="a", value=1.5)
+        path = write_csv(table, tmp_path / "table.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["name"] == "a"
+
+
+class TestJson:
+    def test_roundtrip(self, figure, tmp_path):
+        path = write_json(figure, tmp_path / "fig.json")
+        payload = read_json(path)
+        assert payload["experiment"] == "EXP-X"
+        assert payload["notes"] == ["a note"]
+        assert len(payload["rows"]) == 3

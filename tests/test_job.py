@@ -1,0 +1,112 @@
+"""Tests for repro.tasks.job.Job."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.tasks.job import Job
+from repro.tasks.task import PeriodicTask
+
+
+@pytest.fixture
+def task() -> PeriodicTask:
+    return PeriodicTask("T", wcet=4.0, period=10.0)
+
+
+class TestFromTask:
+    def test_fields(self, task):
+        job = Job.from_task(task, index=2, work=3.0)
+        assert job.release == 20.0
+        assert job.deadline == 30.0
+        assert job.work == 3.0
+        assert job.name == "T#2"
+
+    def test_work_above_wcet_rejected(self, task):
+        with pytest.raises(SimulationError):
+            Job.from_task(task, 0, work=4.5)
+
+    def test_zero_work_rejected(self, task):
+        with pytest.raises(SimulationError):
+            Job.from_task(task, 0, work=0.0)
+
+    def test_work_exactly_wcet_ok(self, task):
+        job = Job.from_task(task, 0, work=4.0)
+        assert job.work == 4.0
+
+
+class TestExecution:
+    def test_remaining_work_decreases(self, task):
+        job = Job.from_task(task, 0, work=3.0)
+        job.execute(1.0)
+        assert job.remaining_work == pytest.approx(2.0)
+        assert job.executed == pytest.approx(1.0)
+
+    def test_remaining_wcet_tracks_budget(self, task):
+        job = Job.from_task(task, 0, work=3.0)
+        job.execute(1.0)
+        # Budget is wcet - executed, independent of the actual demand.
+        assert job.remaining_wcet == pytest.approx(3.0)
+
+    def test_overrun_rejected(self, task):
+        job = Job.from_task(task, 0, work=2.0)
+        with pytest.raises(SimulationError):
+            job.execute(2.5)
+
+    def test_negative_amount_rejected(self, task):
+        job = Job.from_task(task, 0, work=2.0)
+        with pytest.raises(SimulationError):
+            job.execute(-1.0)
+
+    def test_tiny_float_dust_tolerated(self, task):
+        job = Job.from_task(task, 0, work=2.0)
+        job.execute(2.0 + 1e-9)  # within tolerance
+        assert job.remaining_work == 0.0
+
+
+class TestCompletion:
+    def test_complete_lifecycle(self, task):
+        job = Job.from_task(task, 0, work=2.0)
+        job.execute(2.0)
+        job.complete(5.0)
+        assert job.completed
+        assert job.completion_time == 5.0
+        assert job.response_time == pytest.approx(5.0)
+        assert job.met_deadline()
+
+    def test_unused_wcet_after_completion(self, task):
+        job = Job.from_task(task, 0, work=2.5)
+        job.execute(2.5)
+        job.complete(6.0)
+        assert job.unused_wcet == pytest.approx(1.5)
+
+    def test_unused_wcet_before_completion_raises(self, task):
+        job = Job.from_task(task, 0, work=2.0)
+        with pytest.raises(SimulationError):
+            _ = job.unused_wcet
+
+    def test_complete_with_outstanding_work_rejected(self, task):
+        job = Job.from_task(task, 0, work=2.0)
+        job.execute(1.0)
+        with pytest.raises(SimulationError):
+            job.complete(5.0)
+
+    def test_double_complete_rejected(self, task):
+        job = Job.from_task(task, 0, work=1.0)
+        job.execute(1.0)
+        job.complete(2.0)
+        with pytest.raises(SimulationError):
+            job.complete(3.0)
+
+    def test_missed_deadline_detected(self, task):
+        job = Job.from_task(task, 0, work=1.0)
+        job.execute(1.0)
+        job.complete(11.0)
+        assert not job.met_deadline()
+
+    def test_response_time_none_while_running(self, task):
+        job = Job.from_task(task, 0, work=1.0)
+        assert job.response_time is None
+
+    def test_met_deadline_before_completion_raises(self, task):
+        job = Job.from_task(task, 0, work=1.0)
+        with pytest.raises(SimulationError):
+            job.met_deadline()

@@ -1,0 +1,139 @@
+"""Tests for partitioned multicore DVS-EDF."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.profiles import ideal_processor
+from repro.errors import ConfigurationError, InfeasibleTaskSetError
+from repro.policies.registry import make_policy
+from repro.sim.multicore import (
+    MulticoreResult,
+    first_fit_decreasing,
+    simulate_partitioned,
+    worst_fit_decreasing,
+)
+from repro.tasks.execution import UniformExecution
+from repro.tasks.generators import generate_taskset
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+@pytest.fixture
+def heavy_set() -> TaskSet:
+    # Total U = 1.8: needs at least two cores.
+    return TaskSet([
+        PeriodicTask("A", 6.0, 10.0),   # 0.6
+        PeriodicTask("B", 5.0, 10.0),   # 0.5
+        PeriodicTask("C", 8.0, 20.0),   # 0.4
+        PeriodicTask("D", 6.0, 20.0),   # 0.3
+    ])
+
+
+class TestPartitioning:
+    def test_ffd_packs_tightly(self, heavy_set):
+        bins = first_fit_decreasing(heavy_set, 2)
+        loads = [sum(t.utilization for t in b) for b in bins]
+        assert sum(loads) == pytest.approx(1.8)
+        assert all(load <= 1.0 + 1e-9 for load in loads)
+        # FFD with these sizes: 0.6+0.4 on core 0, 0.5+0.3 on core 1.
+        assert loads[0] == pytest.approx(1.0)
+
+    def test_wfd_balances(self, heavy_set):
+        bins = worst_fit_decreasing(heavy_set, 2)
+        loads = sorted(sum(t.utilization for t in b) for b in bins)
+        # WFD: 0.6/0.5 split first, then 0.4 joins 0.5, 0.3 joins 0.6.
+        assert loads == pytest.approx([0.9, 0.9])
+
+    def test_every_task_placed_exactly_once(self, heavy_set):
+        bins = worst_fit_decreasing(heavy_set, 3)
+        placed = [t.name for b in bins for t in b]
+        assert sorted(placed) == ["A", "B", "C", "D"]
+
+    def test_infeasible_packing_rejected(self, heavy_set):
+        with pytest.raises(InfeasibleTaskSetError):
+            first_fit_decreasing(heavy_set, 1)
+
+    def test_invalid_core_count(self, heavy_set):
+        with pytest.raises(ConfigurationError):
+            first_fit_decreasing(heavy_set, 0)
+
+    def test_single_core_when_it_fits(self):
+        ts = TaskSet([PeriodicTask("A", 3.0, 10.0),
+                      PeriodicTask("B", 4.0, 10.0)])
+        bins = first_fit_decreasing(ts, 1)
+        assert [t.name for t in bins[0]] == ["B", "A"]  # by utilization
+
+
+class TestSimulatePartitioned:
+    def test_no_misses_and_energy_aggregates(self, heavy_set):
+        result = simulate_partitioned(
+            heavy_set, 2, ideal_processor,
+            lambda: make_policy("lpSTA"),
+            UniformExecution(low=0.4, high=1.0, seed=5),
+            horizon=400.0)
+        assert isinstance(result, MulticoreResult)
+        assert not result.missed
+        assert result.total_energy > 0
+        assert len(result.per_core) == 2
+        assert all(r is not None for r in result.per_core)
+
+    def test_idle_cores_pay_idle_power(self):
+        ts = TaskSet([PeriodicTask("A", 1.0, 10.0)])
+        result = simulate_partitioned(
+            ts, 3, lambda: _idle_proc(),
+            lambda: make_policy("static"),
+            UniformExecution(low=0.5, high=1.0, seed=1),
+            horizon=100.0)
+        # Two empty cores at idle power 0.1 for 100 time units.
+        assert result.idle_core_energy == pytest.approx(20.0)
+        assert result.per_core.count(None) == 2
+
+    def test_more_cores_save_energy_convexity(self):
+        # Same workload on more cores -> lower per-core speeds -> less
+        # energy under cubic power (with free idle cores).
+        ts = generate_taskset(8, 1.0, np.random.default_rng(9))
+        model = UniformExecution(low=0.5, high=1.0, seed=9)
+        energies = []
+        for cores in (1, 2, 4):
+            try:
+                result = simulate_partitioned(
+                    ts, cores, ideal_processor,
+                    lambda: make_policy("static"), model, horizon=1200.0)
+            except InfeasibleTaskSetError:
+                continue
+            energies.append(result.total_energy)
+        assert len(energies) >= 2
+        assert all(b < a for a, b in zip(energies, energies[1:]))
+
+    def test_normalization(self, heavy_set):
+        model = UniformExecution(low=0.4, high=1.0, seed=5)
+        base = simulate_partitioned(
+            heavy_set, 2, ideal_processor, lambda: make_policy("none"),
+            model, horizon=400.0)
+        dvs = simulate_partitioned(
+            heavy_set, 2, ideal_processor, lambda: make_policy("lpSTA"),
+            model, horizon=400.0)
+        assert dvs.normalized_energy(base) < 1.0
+
+    def test_core_loads_reporting(self, heavy_set):
+        result = simulate_partitioned(
+            heavy_set, 2, ideal_processor, lambda: make_policy("static"),
+            UniformExecution(low=0.5, high=1.0, seed=2), horizon=200.0)
+        loads = result.core_loads(heavy_set)
+        assert sum(loads) == pytest.approx(1.8)
+
+    def test_ffd_partition_option(self, heavy_set):
+        result = simulate_partitioned(
+            heavy_set, 2, ideal_processor, lambda: make_policy("static"),
+            UniformExecution(low=0.5, high=1.0, seed=2), horizon=200.0,
+            partition=first_fit_decreasing)
+        assert not result.missed
+
+
+def _idle_proc():
+    from repro.cpu.power import PolynomialPowerModel
+    from repro.cpu.processor import Processor
+    from repro.cpu.speed import ContinuousScale
+    return Processor(scale=ContinuousScale(min_speed=0.05),
+                     power_model=PolynomialPowerModel(alpha=3.0),
+                     idle_power=0.1)

@@ -1,0 +1,121 @@
+"""Tests for the overhead-aware policy wrapper."""
+
+import pytest
+
+from repro.cpu.power import PolynomialPowerModel
+from repro.cpu.processor import Processor
+from repro.cpu.speed import ContinuousScale
+from repro.cpu.transition import ConstantOverhead, NoOverhead
+from repro.policies.ccedf import CcEdfPolicy
+from repro.policies.overhead_aware import OverheadAwarePolicy
+from repro.policies.registry import make_policy
+from repro.policies.slack_sta import LpStaPolicy
+from repro.policies.static_edf import StaticEdfPolicy
+from repro.sim.engine import simulate
+from repro.tasks.execution import UniformExecution, WorstCaseExecution
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+def overhead_processor(switch_time=0.2, switch_energy=0.5):
+    return Processor(
+        scale=ContinuousScale(min_speed=0.05),
+        power_model=PolynomialPowerModel(alpha=3.0),
+        transition_model=ConstantOverhead(switch_time=switch_time,
+                                          switch_energy=switch_energy))
+
+
+class TestTransparency:
+    def test_free_switching_passes_through(self, two_task_set,
+                                           half_model):
+        proc = Processor(scale=ContinuousScale(min_speed=0.05),
+                         transition_model=NoOverhead())
+        plain = simulate(two_task_set, proc, LpStaPolicy(), half_model,
+                         horizon=40.0)
+        wrapped = simulate(two_task_set, proc,
+                           OverheadAwarePolicy(LpStaPolicy()),
+                           half_model, horizon=40.0)
+        assert wrapped.total_energy == pytest.approx(plain.total_energy)
+        assert wrapped.switch_count == plain.switch_count
+
+    def test_name_reflects_inner(self):
+        assert OverheadAwarePolicy(CcEdfPolicy()).name == "oa-ccEDF"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            OverheadAwarePolicy(CcEdfPolicy(), reserve_factor=0.5)
+        with pytest.raises(ValueError):
+            OverheadAwarePolicy(CcEdfPolicy(), hysteresis=-1.0)
+
+
+class TestSafety:
+    def test_no_misses_with_large_switch_time(self, three_task_set):
+        proc = overhead_processor(switch_time=0.5)
+        model = UniformExecution(low=0.2, high=1.0, seed=9)
+        result = simulate(three_task_set, proc,
+                          OverheadAwarePolicy(LpStaPolicy()), model,
+                          horizon=400.0)
+        assert not result.missed
+
+    def test_tight_deadline_vetoes_slowdown(self):
+        # One job with zero slack beyond its budget: any slowdown paying
+        # a 0.5 switch would miss; the wrapper must keep full speed.
+        ts = TaskSet([PeriodicTask("T", wcet=9.8, period=10.0)])
+        proc = overhead_processor(switch_time=0.5)
+        wrapper = OverheadAwarePolicy(StaticEdfPolicy())
+        result = simulate(ts, proc, wrapper, WorstCaseExecution(),
+                          horizon=20.0)
+        assert not result.missed
+        assert wrapper.vetoed_switches > 0
+        assert result.switch_count == 0
+
+
+class TestProfitability:
+    def test_unprofitable_switch_suppressed(self, two_task_set):
+        # Enormous switch energy: the wrapper must never switch, so the
+        # whole run stays at the initial full speed.
+        proc = overhead_processor(switch_time=0.0, switch_energy=1e9)
+        wrapper = OverheadAwarePolicy(CcEdfPolicy())
+        result = simulate(two_task_set, proc, wrapper,
+                          UniformExecution(low=0.5, seed=3),
+                          horizon=40.0)
+        assert result.switch_count == 0
+        assert result.mean_speed() == pytest.approx(1.0)
+
+    def test_profitable_switch_taken(self, two_task_set):
+        proc = overhead_processor(switch_time=0.0, switch_energy=1e-6)
+        wrapper = OverheadAwarePolicy(StaticEdfPolicy())
+        result = simulate(two_task_set, proc, wrapper,
+                          WorstCaseExecution(), horizon=40.0)
+        assert result.switch_count >= 1
+        assert result.mean_speed() < 1.0
+
+    def test_wrapper_beats_naive_policy_under_heavy_overhead(
+            self, two_task_set):
+        # With expensive switches the wrapped policy must not lose to
+        # the unwrapped one (which pays for every oscillation).
+        proc = overhead_processor(switch_time=0.01, switch_energy=0.3)
+        model = UniformExecution(low=0.3, high=1.0, seed=21)
+        naive = simulate(two_task_set, proc, CcEdfPolicy(), model,
+                         horizon=200.0, allow_misses=True)
+        wrapped = simulate(two_task_set, proc,
+                           OverheadAwarePolicy(CcEdfPolicy()), model,
+                           horizon=200.0)
+        assert wrapped.switch_count <= naive.switch_count
+        assert wrapped.total_energy <= naive.total_energy * 1.05
+
+
+class TestRegistryIntegration:
+    def test_make_policy_with_wrapper(self):
+        policy = make_policy("lpSEH", overhead_aware=True)
+        assert isinstance(policy, OverheadAwarePolicy)
+        assert policy.name == "oa-lpSEH"
+
+    def test_hooks_forwarded(self, two_task_set, half_model):
+        # The inner ccEDF still sees releases/completions through the
+        # wrapper: its estimate must differ from the initial U.
+        proc = overhead_processor()
+        wrapper = OverheadAwarePolicy(CcEdfPolicy())
+        simulate(two_task_set, proc, wrapper, half_model, horizon=40.0)
+        estimate = wrapper.inner.utilization_estimate()
+        assert estimate < two_task_set.utilization

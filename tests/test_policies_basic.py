@@ -1,0 +1,120 @@
+"""Behavioural tests for the simple policies: none, static, ccEDF, lppsEDF."""
+
+import pytest
+
+from repro.cpu.processor import Processor
+from repro.cpu.profiles import ideal_processor
+from repro.policies.ccedf import CcEdfPolicy
+from repro.policies.lpps_edf import LppsEdfPolicy
+from repro.policies.none import NoDvsPolicy
+from repro.policies.static_edf import StaticEdfPolicy
+from repro.sim.engine import simulate
+from repro.sim.tracing import SegmentKind
+from repro.tasks.execution import ConstantExecution, WorstCaseExecution
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+class TestNoDvs:
+    def test_always_full_speed(self, two_task_set, half_model, processor):
+        result = simulate(two_task_set, processor, NoDvsPolicy(),
+                          half_model, horizon=40.0)
+        assert result.mean_speed() == pytest.approx(1.0)
+        assert result.switch_count == 0
+
+
+class TestStatic:
+    def test_speed_is_utilization(self, two_task_set, processor):
+        policy = StaticEdfPolicy()
+        result = simulate(two_task_set, processor, policy,
+                          WorstCaseExecution(), horizon=40.0)
+        assert policy.static_speed == pytest.approx(0.5)
+        assert result.mean_speed() == pytest.approx(0.5)
+
+    def test_no_idle_at_worst_case_saturation(self, saturated_task_set,
+                                              processor):
+        # U = 1 -> static speed 1 -> with WCET demand the processor
+        # never idles over a hyperperiod.
+        result = simulate(saturated_task_set, processor,
+                          StaticEdfPolicy(), WorstCaseExecution(),
+                          horizon=20.0)
+        assert result.idle_time == pytest.approx(0.0)
+
+    def test_floor_at_processor_min_speed(self):
+        ts = TaskSet([PeriodicTask("T", wcet=0.1, period=100.0)])
+        proc = ideal_processor(min_speed=0.2)
+        policy = StaticEdfPolicy()
+        simulate(ts, proc, policy, WorstCaseExecution(), horizon=100.0)
+        assert policy.static_speed == pytest.approx(0.2)
+
+
+class TestCcEdf:
+    def test_worst_case_degenerates_to_static(self, two_task_set,
+                                              processor):
+        # When every job consumes its WCET the utilization estimate
+        # never drops below U, so ccEDF == static EDF.
+        result = simulate(two_task_set, processor, CcEdfPolicy(),
+                          WorstCaseExecution(), horizon=40.0)
+        assert result.mean_speed() == pytest.approx(0.5, abs=1e-6)
+
+    def test_early_completions_reduce_speed(self, two_task_set,
+                                            processor):
+        result = simulate(two_task_set, processor, CcEdfPolicy(),
+                          ConstantExecution(0.5), horizon=40.0)
+        # Estimate oscillates between U and U_actual; strictly below U
+        # on average, never below U_actual = 0.25.
+        assert 0.25 <= result.mean_speed() < 0.5
+
+    def test_estimate_resets_on_release(self, two_task_set, processor):
+        policy = CcEdfPolicy()
+        simulate(two_task_set, processor, policy, ConstantExecution(0.5),
+                 horizon=40.0)
+        # After the run, both tasks completed their last job at half
+        # demand: estimate reflects actual usage.
+        expected = sum(0.5 * t.utilization for t in two_task_set)
+        assert policy.utilization_estimate() == pytest.approx(expected)
+
+    def test_no_misses_on_bursty_demand(self, three_task_set, processor):
+        from repro.tasks.execution import BimodalExecution
+        result = simulate(three_task_set, processor, CcEdfPolicy(),
+                          BimodalExecution(light=0.1, heavy=1.0,
+                                           p_heavy=0.5, seed=3),
+                          horizon=200.0)
+        assert not result.missed
+
+
+class TestLppsEdf:
+    def test_single_job_stretches_to_next_arrival(self, processor):
+        # Lone task, WCET 2, period 10: each job is alone and stretches
+        # its budget over the full period.
+        ts = TaskSet([PeriodicTask("T", wcet=2.0, period=10.0)])
+        result = simulate(ts, processor, LppsEdfPolicy(),
+                          WorstCaseExecution(), horizon=30.0,
+                          record_trace=True)
+        assert result.mean_speed() == pytest.approx(0.2)
+        assert result.idle_time == pytest.approx(0.0, abs=1e-6)
+        assert not result.missed
+
+    def test_multiple_active_jobs_run_static(self, processor):
+        # Two synchronous tasks: at t=0 both are active, so the static
+        # speed applies until one completes.
+        ts = TaskSet([PeriodicTask("A", wcet=2.0, period=10.0),
+                      PeriodicTask("B", wcet=3.0, period=10.0)])
+        result = simulate(ts, processor, LppsEdfPolicy(),
+                          WorstCaseExecution(), horizon=10.0,
+                          record_trace=True)
+        first = [s for s in result.trace if s.kind == SegmentKind.RUN][0]
+        assert first.speed == pytest.approx(0.5)  # static = U
+        assert not result.missed
+
+    def test_deadline_fences_the_stretch(self, processor):
+        # Constrained deadline: the lone job must fence at its deadline
+        # (5), not at the next arrival (10).
+        ts = TaskSet([PeriodicTask("T", wcet=2.0, period=10.0,
+                                   deadline=5.0)])
+        result = simulate(ts, processor, LppsEdfPolicy(),
+                          WorstCaseExecution(), horizon=10.0,
+                          record_trace=True)
+        run = [s for s in result.trace if s.kind == SegmentKind.RUN][0]
+        assert run.speed == pytest.approx(0.4)  # 2 / 5
+        assert not result.missed

@@ -1,0 +1,122 @@
+"""Behavioural tests for the paper's policies: lpSTA, lpSEH, clairvoyant."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies.clairvoyant import ClairvoyantPolicy
+from repro.policies.slack_seh import LpSehPolicy
+from repro.policies.slack_sta import LpStaPolicy
+from repro.sim.engine import simulate
+from repro.sim.tracing import SegmentKind
+from repro.tasks.execution import (
+    BimodalExecution,
+    ConstantExecution,
+    UniformExecution,
+    WorstCaseExecution,
+)
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+class TestLpSta:
+    def test_worst_case_runs_at_static_speed(self, two_task_set,
+                                             processor):
+        # With WCET demand the static baseline is tight: no slack ever
+        # appears, so the policy runs at exactly U throughout.
+        result = simulate(two_task_set, processor, LpStaPolicy(),
+                          WorstCaseExecution(), horizon=40.0)
+        assert result.mean_speed() == pytest.approx(0.5, abs=1e-6)
+        assert not result.missed
+
+    def test_speed_never_exceeds_static_baseline(self, two_task_set,
+                                                 processor, half_model):
+        result = simulate(two_task_set, processor, LpStaPolicy(),
+                          half_model, horizon=40.0, record_trace=True)
+        for seg in result.trace:
+            if seg.kind == SegmentKind.RUN:
+                assert seg.speed <= 0.5 + 1e-9
+
+    def test_early_completions_push_speed_below_baseline(
+            self, two_task_set, processor):
+        result = simulate(two_task_set, processor, LpStaPolicy(),
+                          ConstantExecution(0.4), horizon=40.0)
+        assert result.mean_speed() < 0.5
+        assert not result.missed
+
+    def test_analysis_called_per_dispatch(self, two_task_set, processor,
+                                          half_model):
+        policy = LpStaPolicy()
+        result = simulate(two_task_set, processor, policy, half_model,
+                          horizon=40.0)
+        assert policy.analysis_calls >= result.jobs_completed
+
+    def test_binding_reports_baseline(self, two_task_set, processor):
+        policy = LpStaPolicy()
+        policy.bind(two_task_set, processor)
+        assert policy.baseline_speed == pytest.approx(0.5)
+
+    def test_greedy_baseline_variant(self, two_task_set, processor,
+                                     half_model):
+        greedy = LpStaPolicy(baseline="full")
+        assert greedy.name == "lpSTA-greedy"
+        result = simulate(two_task_set, processor, greedy, half_model,
+                          horizon=40.0)
+        assert not result.missed
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LpStaPolicy(window_cap_periods=0.0)
+        with pytest.raises(ConfigurationError):
+            LpStaPolicy(baseline="bogus")
+
+
+class TestLpSeh:
+    def test_worst_case_runs_at_static_speed(self, two_task_set,
+                                             processor):
+        result = simulate(two_task_set, processor, LpSehPolicy(),
+                          WorstCaseExecution(), horizon=40.0)
+        assert result.mean_speed() == pytest.approx(0.5, abs=1e-6)
+
+    def test_never_slower_than_lpsta(self, three_task_set, processor,
+                                     half_model):
+        # The heuristic under-estimates slack, so pointwise it can only
+        # run at or above lpSTA's speed; aggregate busy time reflects it.
+        sta = simulate(three_task_set, processor, LpStaPolicy(),
+                       half_model, horizon=80.0)
+        seh = simulate(three_task_set, processor, LpSehPolicy(),
+                       half_model, horizon=80.0)
+        assert seh.mean_speed() >= sta.mean_speed() - 1e-6
+
+    def test_no_misses_on_bursty_demand(self, three_task_set, processor):
+        result = simulate(three_task_set, processor, LpSehPolicy(),
+                          BimodalExecution(light=0.1, heavy=1.0,
+                                           p_heavy=0.4, seed=11),
+                          horizon=400.0)
+        assert not result.missed
+
+
+class TestClairvoyant:
+    def test_constant_demand_runs_at_actual_utilization(self, processor):
+        # Constant 50% demand: the YDS intensity settles at the actual
+        # utilization 0.25 for a U=0.5 set.
+        ts = TaskSet([PeriodicTask("A", wcet=2.0, period=10.0),
+                      PeriodicTask("B", wcet=3.0, period=10.0)])
+        result = simulate(ts, processor, ClairvoyantPolicy(),
+                          ConstantExecution(0.5), horizon=40.0)
+        assert result.mean_speed() == pytest.approx(0.25, abs=0.02)
+        assert not result.missed
+
+    def test_beats_every_online_policy(self, three_task_set, processor):
+        model = UniformExecution(low=0.3, high=1.0, seed=17)
+        oracle = simulate(three_task_set, processor, ClairvoyantPolicy(),
+                          model, horizon=200.0)
+        for policy in (LpStaPolicy(), LpSehPolicy()):
+            online = simulate(three_task_set, processor, policy, model,
+                              horizon=200.0)
+            assert oracle.total_energy <= online.total_energy * 1.02
+
+    def test_no_misses(self, three_task_set, processor):
+        result = simulate(three_task_set, processor, ClairvoyantPolicy(),
+                          UniformExecution(low=0.2, high=1.0, seed=23),
+                          horizon=400.0)
+        assert not result.missed

@@ -1,0 +1,142 @@
+"""Tests for repro.cpu.power models."""
+
+import pytest
+
+from repro.cpu.power import (
+    CmosPowerModel,
+    OperatingPoint,
+    PolynomialPowerModel,
+    TablePowerModel,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPolynomial:
+    def test_cubic_values(self):
+        model = PolynomialPowerModel(alpha=3.0)
+        assert model.power(1.0) == pytest.approx(1.0)
+        assert model.power(0.5) == pytest.approx(0.125)
+
+    def test_static_floor(self):
+        model = PolynomialPowerModel(alpha=3.0, static=0.1)
+        assert model.power(0.5) == pytest.approx(0.225)
+
+    def test_energy_integrates_power(self):
+        model = PolynomialPowerModel(alpha=2.0)
+        assert model.energy(0.5, duration=4.0) == pytest.approx(1.0)
+
+    def test_energy_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialPowerModel().energy(0.5, -1.0)
+
+    def test_convexity_beats_two_speeds(self):
+        # Running work W at speed s for W/s costs s^2 * W (alpha=3);
+        # splitting between a lower and higher speed must cost more
+        # than the constant intermediate speed for the same work+time.
+        model = PolynomialPowerModel(alpha=3.0)
+        work, wall = 1.0, 2.0
+        constant = model.power(0.5) * wall
+        # Half the work at 0.25 (takes 2.0) is infeasible; use 0.3/0.9:
+        # t1 * 0.3 + t2 * 0.9 = 1.0, t1 + t2 = 2.0 -> t1 = 4/3, t2 = 2/3.
+        split = model.power(0.3) * (4 / 3) + model.power(0.9) * (2 / 3)
+        assert split > constant
+
+    def test_speed_out_of_range_rejected(self):
+        model = PolynomialPowerModel()
+        with pytest.raises(ConfigurationError):
+            model.power(0.0)
+        with pytest.raises(ConfigurationError):
+            model.power(1.2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialPowerModel(alpha=0.5)
+        with pytest.raises(ConfigurationError):
+            PolynomialPowerModel(dynamic=0.0)
+        with pytest.raises(ConfigurationError):
+            PolynomialPowerModel(static=-1.0)
+
+    def test_default_voltage_tracks_speed(self):
+        assert PolynomialPowerModel().voltage(0.6) == pytest.approx(0.6)
+
+
+class TestCmos:
+    @pytest.fixture
+    def model(self) -> CmosPowerModel:
+        # The generic 4-level table: 25/50/75/100% at 2/3/4/5 V.
+        return CmosPowerModel([
+            OperatingPoint(0.25, 2.0),
+            OperatingPoint(0.50, 3.0),
+            OperatingPoint(0.75, 4.0),
+            OperatingPoint(1.00, 5.0),
+        ])
+
+    def test_power_is_f_v_squared(self, model):
+        # P(1.0) = c_eff * 5^2 * 1.0 * f_max(=1.0) = 25.
+        assert model.power(1.0) == pytest.approx(25.0)
+        assert model.power(0.25) == pytest.approx(2.0 * 2.0 * 0.25)
+
+    def test_voltage_interpolation(self, model):
+        assert model.voltage(0.375) == pytest.approx(2.5)
+
+    def test_voltage_clamps_at_edges(self, model):
+        assert model.voltage(0.1) == pytest.approx(2.0)
+        assert model.voltage(1.0) == pytest.approx(5.0)
+
+    def test_power_monotone_in_speed(self, model):
+        speeds = [0.25, 0.4, 0.5, 0.6, 0.75, 0.9, 1.0]
+        powers = [model.power(s) for s in speeds]
+        assert powers == sorted(powers)
+
+    def test_energy_per_work_decreases_with_speed(self, model):
+        # The DVS premise: retiring one unit of work is cheaper slower.
+        per_work = [model.power(s) / s for s in (0.25, 0.5, 0.75, 1.0)]
+        assert per_work == sorted(per_work)
+
+    def test_speeds_property(self, model):
+        assert model.speeds == pytest.approx((0.25, 0.5, 0.75, 1.0))
+
+    def test_duplicate_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CmosPowerModel([OperatingPoint(1.0, 2.0),
+                            OperatingPoint(1.0, 3.0)])
+
+    def test_decreasing_voltage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CmosPowerModel([OperatingPoint(0.5, 3.0),
+                            OperatingPoint(1.0, 2.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CmosPowerModel([])
+
+
+class TestTable:
+    @pytest.fixture
+    def model(self) -> TablePowerModel:
+        # XScale-style measured rows (mW).
+        return TablePowerModel([
+            (0.15, 80.0), (0.4, 170.0), (0.6, 400.0),
+            (0.8, 900.0), (1.0, 1600.0)])
+
+    def test_exact_points(self, model):
+        assert model.power(0.6) == pytest.approx(400.0)
+        assert model.power(1.0) == pytest.approx(1600.0)
+
+    def test_interpolation(self, model):
+        assert model.power(0.5) == pytest.approx(285.0)
+
+    def test_clamp_below_first_point(self, model):
+        assert model.power(0.05) == pytest.approx(80.0)
+
+    def test_requires_coverage_of_full_speed(self):
+        with pytest.raises(ConfigurationError):
+            TablePowerModel([(0.5, 10.0)])
+
+    def test_rejects_decreasing_power(self):
+        with pytest.raises(ConfigurationError):
+            TablePowerModel([(0.5, 20.0), (1.0, 10.0)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            TablePowerModel([(0.5, 10.0), (0.5, 11.0), (1.0, 20.0)])

@@ -1,0 +1,125 @@
+"""Tests for repro.cpu.processor and the named profiles."""
+
+import pytest
+
+from repro.cpu.power import PolynomialPowerModel
+from repro.cpu.processor import Processor
+from repro.cpu.profiles import (
+    PROCESSOR_PROFILES,
+    crusoe_processor,
+    generic4_processor,
+    ideal_processor,
+    load_profile,
+    sa1100_processor,
+    uniform_discrete_processor,
+    xscale_processor,
+)
+from repro.cpu.speed import DiscreteScale
+from repro.cpu.transition import ConstantOverhead
+from repro.errors import ConfigurationError
+
+
+class TestProcessor:
+    def test_defaults(self):
+        proc = Processor()
+        assert proc.min_speed > 0
+        assert proc.idle_power == 0.0
+        assert proc.quantize(0.5) == pytest.approx(0.5)
+
+    def test_energy_composition(self):
+        proc = Processor(power_model=PolynomialPowerModel(alpha=3.0),
+                         idle_power=0.25)
+        assert proc.active_energy(0.5, 8.0) == pytest.approx(1.0)
+        assert proc.idle_energy(4.0) == pytest.approx(1.0)
+
+    def test_idle_energy_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Processor().idle_energy(-1.0)
+
+    def test_negative_idle_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Processor(idle_power=-0.1)
+
+    def test_transition_same_speed_free(self):
+        proc = Processor(transition_model=ConstantOverhead(0.1, 5.0))
+        assert proc.transition(0.5, 0.5) == (0.0, 0.0)
+
+    def test_transition_costs_apply(self):
+        proc = Processor(transition_model=ConstantOverhead(0.1, 5.0))
+        assert proc.transition(0.5, 1.0) == (0.1, 5.0)
+
+    def test_quantization_delegates_to_scale(self):
+        proc = Processor(scale=DiscreteScale([0.5, 1.0]))
+        assert proc.quantize(0.3) == 0.5
+        assert proc.quantize(0.7) == 1.0
+
+    def test_describe_mentions_components(self):
+        text = Processor(name="p").describe()
+        assert "p:" in text
+        assert "scale=" in text and "power=" in text
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name", sorted(PROCESSOR_PROFILES))
+    def test_profiles_instantiate(self, name):
+        proc = load_profile(name)
+        assert 0 < proc.min_speed <= 1.0
+        assert proc.power(1.0) > 0
+
+    @pytest.mark.parametrize("name", sorted(PROCESSOR_PROFILES))
+    def test_power_monotone_across_levels(self, name):
+        proc = load_profile(name)
+        if proc.scale.is_continuous:
+            speeds = [proc.min_speed + i * (1 - proc.min_speed) / 10
+                      for i in range(11)]
+        else:
+            speeds = list(proc.scale.levels)
+        powers = [proc.power(s) for s in speeds]
+        assert powers == sorted(powers)
+
+    @pytest.mark.parametrize("name", sorted(PROCESSOR_PROFILES))
+    def test_dvs_premise_energy_per_work(self, name):
+        # Energy per unit work must improve at lower speeds, otherwise
+        # the profile cannot benefit from DVS at all.
+        proc = load_profile(name)
+        low = proc.min_speed
+        assert proc.power(low) / low < proc.power(1.0) / 1.0
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError, match="unknown profile"):
+            load_profile("z80")
+
+    def test_generic4_matches_textbook_table(self):
+        proc = generic4_processor()
+        assert proc.scale.levels == (0.25, 0.5, 0.75, 1.0)
+        assert proc.voltage(0.25) == pytest.approx(2.0)
+        assert proc.voltage(1.0) == pytest.approx(5.0)
+
+    def test_xscale_levels(self):
+        proc = xscale_processor()
+        assert len(proc.scale.levels) == 5
+        assert proc.power(1.0) == pytest.approx(1600.0)
+        assert proc.power(0.15) == pytest.approx(80.0)
+        assert proc.voltage(1.0) == pytest.approx(1.8)
+
+    def test_xscale_optional_switch_time(self):
+        proc = xscale_processor(switch_time=0.05)
+        dt, _ = proc.transition(0.15, 1.0)
+        assert dt == pytest.approx(0.05)
+
+    def test_sa1100_has_switch_overhead(self):
+        proc = sa1100_processor()
+        dt, de = proc.transition(proc.min_speed, 1.0)
+        assert dt == pytest.approx(0.14)
+        assert de > 0
+
+    def test_crusoe_level_count(self):
+        assert len(crusoe_processor().scale.levels) == 5
+
+    def test_ideal_is_continuous(self):
+        assert ideal_processor().scale.is_continuous
+
+    def test_uniform_discrete_factory(self):
+        proc = uniform_discrete_processor(8, min_speed=0.2)
+        assert len(proc.scale.levels) == 8
+        assert proc.scale.levels[0] == pytest.approx(0.2)

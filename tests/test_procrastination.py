@@ -1,0 +1,169 @@
+"""Tests for sleep states and procrastination scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.power import PolynomialPowerModel
+from repro.cpu.processor import Processor
+from repro.cpu.speed import ContinuousScale
+from repro.errors import ConfigurationError
+from repro.policies.procrastination import (
+    IdlePlan,
+    NeverSleepIdlePolicy,
+    ProcrastinationIdlePolicy,
+    SleepOnIdlePolicy,
+)
+from repro.policies.registry import make_policy
+from repro.sim.engine import simulate
+from repro.sim.tracing import SegmentKind
+from repro.tasks.arrivals import UniformJitterArrival
+from repro.tasks.execution import UniformExecution, WorstCaseExecution
+from repro.tasks.generators import generate_taskset
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+def sleepy_processor(idle_power=0.2, sleep_power=0.01, wakeup_time=0.2,
+                     wakeup_energy=0.5) -> Processor:
+    return Processor(
+        scale=ContinuousScale(min_speed=0.05),
+        power_model=PolynomialPowerModel(alpha=3.0),
+        idle_power=idle_power, sleep_power=sleep_power,
+        wakeup_time=wakeup_time, wakeup_energy=wakeup_energy)
+
+
+@pytest.fixture
+def light_taskset() -> TaskSet:
+    return TaskSet([PeriodicTask("A", 1.0, 10.0),
+                    PeriodicTask("B", 2.0, 25.0)])
+
+
+class TestProcessorSleepModel:
+    def test_sleep_energy_includes_wakeup(self):
+        proc = sleepy_processor()
+        assert proc.sleep_energy(10.0) == pytest.approx(0.6)
+
+    def test_breakeven(self):
+        proc = sleepy_processor(idle_power=0.2, sleep_power=0.1,
+                                wakeup_energy=1.0)
+        assert proc.sleep_breakeven_time() == pytest.approx(10.0)
+
+    def test_breakeven_infinite_without_gap(self):
+        proc = sleepy_processor(idle_power=0.1, sleep_power=0.1)
+        assert proc.sleep_breakeven_time() == float("inf")
+
+    def test_sleep_power_above_idle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sleepy_processor(idle_power=0.1, sleep_power=0.2)
+
+    def test_negative_wakeup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sleepy_processor(wakeup_time=-1.0)
+
+
+class TestSleepOnIdle:
+    def test_schedule_identical_to_never_sleep(self, light_taskset):
+        proc = sleepy_processor()
+        never = simulate(light_taskset, proc, make_policy("none"),
+                         WorstCaseExecution(),
+                         idle_policy=NeverSleepIdlePolicy(),
+                         horizon=500.0)
+        sleeper = simulate(light_taskset, proc, make_policy("none"),
+                           WorstCaseExecution(),
+                           idle_policy=SleepOnIdlePolicy(),
+                           horizon=500.0)
+        # Same busy pattern (jobs never delayed), less idle energy.
+        assert sleeper.busy_energy == pytest.approx(never.busy_energy)
+        assert sleeper.total_energy < never.total_energy
+        assert not sleeper.missed
+
+    def test_short_gaps_stay_idle(self, light_taskset):
+        # Make wake-up so expensive no gap is worth sleeping through.
+        proc = sleepy_processor(wakeup_energy=1e6)
+        result = simulate(light_taskset, proc, make_policy("none"),
+                          WorstCaseExecution(),
+                          idle_policy=SleepOnIdlePolicy(), horizon=500.0)
+        assert result.sleep_episodes == 0
+        assert result.idle_time > 0
+
+
+class TestProcrastination:
+    def test_batches_sleep_episodes(self, light_taskset):
+        proc = sleepy_processor()
+        plain = simulate(light_taskset, proc, make_policy("none"),
+                         WorstCaseExecution(),
+                         idle_policy=SleepOnIdlePolicy(), horizon=500.0)
+        procr = simulate(light_taskset, proc, make_policy("none"),
+                         WorstCaseExecution(),
+                         idle_policy=ProcrastinationIdlePolicy(),
+                         horizon=500.0)
+        assert procr.sleep_episodes <= plain.sleep_episodes
+        assert procr.total_energy <= plain.total_energy + 1e-9
+        assert not procr.missed
+
+    def test_no_misses_under_load_sweep(self):
+        from repro.policies.registry import ALL_POLICY_NAMES
+        proc = sleepy_processor()
+        for u in (0.4, 0.7, 0.95):
+            for seed in (81, 83):
+                ts = generate_taskset(5, u, np.random.default_rng(seed))
+                for policy in ALL_POLICY_NAMES:
+                    result = simulate(
+                        ts, proc, make_policy(policy),
+                        UniformExecution(low=0.3, high=1.0, seed=seed),
+                        idle_policy=ProcrastinationIdlePolicy(),
+                        horizon=min(ts.default_horizon(), 2400.0))
+                    assert not result.missed, (u, seed, policy)
+
+    def test_jobs_start_late_but_inside_slack(self, light_taskset):
+        proc = sleepy_processor()
+        result = simulate(light_taskset, proc, make_policy("none"),
+                          WorstCaseExecution(),
+                          idle_policy=ProcrastinationIdlePolicy(),
+                          horizon=500.0, record_trace=True)
+        # Some job must actually have been procrastinated: a RUN
+        # segment that starts strictly after its job's release.
+        delayed = 0
+        for seg in result.trace:
+            if seg.kind != SegmentKind.RUN or seg.job is None:
+                continue
+            task_name, _, idx = seg.job.partition("#")
+            release = light_taskset[task_name].release_time(int(idx))
+            if seg.start > release + 0.5:
+                delayed += 1
+        assert delayed > 0
+        assert not result.missed
+
+    def test_margin_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProcrastinationIdlePolicy(margin=1.5)
+
+    def test_sporadic_falls_back_to_release_fence(self, light_taskset):
+        # With sporadic arrivals the next release is unknowable: the
+        # planner may sleep only to the earliest possible release.
+        proc = sleepy_processor()
+        result = simulate(
+            light_taskset, proc, make_policy("none"),
+            WorstCaseExecution(),
+            arrival_model=UniformJitterArrival(jitter=0.5, seed=7),
+            idle_policy=ProcrastinationIdlePolicy(), horizon=500.0)
+        assert not result.missed
+
+    def test_time_accounting_covers_horizon(self, light_taskset):
+        proc = sleepy_processor()
+        result = simulate(light_taskset, proc, make_policy("none"),
+                          WorstCaseExecution(),
+                          idle_policy=ProcrastinationIdlePolicy(),
+                          horizon=500.0)
+        covered = (result.busy_time + result.idle_time
+                   + result.switch_time + result.sleep_time)
+        assert covered == pytest.approx(500.0, rel=1e-6)
+        assert result.total_energy == pytest.approx(
+            result.busy_energy + result.idle_energy
+            + result.switch_energy + result.sleep_energy)
+
+
+class TestIdlePlan:
+    def test_plan_fields(self):
+        plan = IdlePlan(sleep=True, wake_time=12.0)
+        assert plan.sleep and plan.wake_time == 12.0

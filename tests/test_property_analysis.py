@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for the analysis layer."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.demand import (
+    dbf_task,
+    future_demand,
+    future_demand_linear_bound,
+)
+from repro.analysis.slack import (
+    ActiveJob,
+    SystemState,
+    allotted_speed,
+    exact_slack,
+    heuristic_slack,
+    stretch_speed,
+)
+from repro.tasks.task import PeriodicTask
+
+
+# -- strategies --------------------------------------------------------------
+
+periods = st.floats(min_value=1.0, max_value=1000.0,
+                    allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def tasks(draw, name="T"):
+    period = draw(periods)
+    wcet = draw(st.floats(min_value=0.001, max_value=1.0)) * period
+    return PeriodicTask(name, wcet=wcet, period=period)
+
+
+@st.composite
+def analysis_states(draw):
+    """A consistent (feasible-utilization) state with active jobs."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    task_list = []
+    utilization_left = 1.0
+    for i in range(n):
+        period = draw(st.floats(min_value=2.0, max_value=200.0))
+        u = draw(st.floats(min_value=0.01, max_value=0.9))
+        u = min(u, utilization_left)
+        assume(u > 0.005)
+        utilization_left -= u
+        task_list.append(
+            PeriodicTask(f"T{i}", wcet=u * period, period=period))
+    t = draw(st.floats(min_value=0.0, max_value=100.0))
+    active = []
+    next_release = {}
+    for task in task_list:
+        release = task.next_release_at_or_after(t)
+        has_active = draw(st.booleans())
+        if has_active and release >= task.period:
+            prev_release = release - task.period
+            deadline = prev_release + task.deadline
+            if deadline > t:
+                frac = draw(st.floats(min_value=0.0, max_value=1.0))
+                active.append(ActiveJob(deadline=deadline,
+                                        remaining_wcet=frac * task.wcet))
+        next_release[task.name] = max(release, t)
+    assume(active)
+    return SystemState.build(time=t, active=active, tasks=task_list,
+                             next_release=next_release)
+
+
+# -- demand properties --------------------------------------------------------
+
+@given(task=tasks(), interval=st.floats(min_value=0.0, max_value=1e4))
+def test_dbf_monotone_nonnegative(task, interval):
+    value = dbf_task(task, interval)
+    assert value >= 0.0
+    assert dbf_task(task, interval + task.period) >= value
+
+
+@given(task=tasks(),
+       nr=st.floats(min_value=0.0, max_value=1e3),
+       d=st.floats(min_value=0.0, max_value=1e4))
+def test_linear_bound_dominates_future_demand(task, nr, d):
+    exact = future_demand(task, nr, d)
+    bound = future_demand_linear_bound(task, nr, d)
+    assert bound >= exact - 1e-9 * max(1.0, exact)
+
+
+@given(task=tasks(), nr=st.floats(min_value=0.0, max_value=1e3),
+       d=st.floats(min_value=0.0, max_value=1e4),
+       delta=st.floats(min_value=0.0, max_value=1e3))
+def test_future_demand_monotone_in_deadline(task, nr, d, delta):
+    assert future_demand(task, nr, d + delta) >= future_demand(task, nr, d)
+
+
+# -- slack properties ----------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(state=analysis_states())
+def test_heuristic_never_exceeds_exact(state):
+    assert heuristic_slack(state) <= exact_slack(state) + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(state=analysis_states())
+def test_slack_nonnegative_and_finite(state):
+    for slack in (exact_slack(state), heuristic_slack(state)):
+        assert slack >= 0.0
+        assert math.isfinite(slack)
+
+
+@settings(max_examples=60, deadline=None)
+@given(state=analysis_states())
+def test_slack_bounded_by_earliest_deadline_headroom(state):
+    """No job can be granted more time than exists before d_J."""
+    headroom = state.earliest_deadline - state.time
+    assert exact_slack(state) <= headroom + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(state=analysis_states(),
+       shrink=st.floats(min_value=0.0, max_value=0.5))
+def test_slack_monotone_in_pending_work(state, shrink):
+    """Reducing an active budget can only increase the slack."""
+    base = exact_slack(state)
+    reduced_active = [
+        ActiveJob(j.deadline, j.remaining_wcet * (1.0 - shrink))
+        for j in state.active]
+    reduced = SystemState.build(state.time, reduced_active, state.tasks,
+                                state.next_release)
+    assert exact_slack(reduced) >= base - 1e-9
+
+
+# -- speed rules ----------------------------------------------------------------
+
+@given(rem=st.floats(min_value=1e-6, max_value=1e3),
+       slack=st.floats(min_value=0.0, max_value=1e4))
+def test_stretch_speed_fits_budget_in_window(rem, slack):
+    speed = stretch_speed(rem, slack)
+    assert 0.0 < speed <= 1.0
+    # Running at this speed finishes within rem + slack.
+    assert rem / speed <= rem + slack + 1e-6 * (rem + slack)
+
+
+@given(rem=st.floats(min_value=1e-6, max_value=1e3),
+       baseline=st.floats(min_value=0.01, max_value=1.0),
+       slack=st.floats(min_value=0.0, max_value=1e4))
+def test_allotted_speed_within_baseline_and_window(rem, baseline, slack):
+    speed = allotted_speed(rem, baseline, slack)
+    assert 0.0 < speed <= baseline + 1e-12
+    assert rem / speed <= rem / baseline + slack + 1e-6
+
+
+@given(rem=st.floats(min_value=1e-6, max_value=1e3),
+       slack_a=st.floats(min_value=0.0, max_value=1e3),
+       slack_b=st.floats(min_value=0.0, max_value=1e3))
+def test_stretch_speed_monotone_in_slack(rem, slack_a, slack_b):
+    lo, hi = sorted((slack_a, slack_b))
+    assert stretch_speed(rem, hi) <= stretch_speed(rem, lo) + 1e-12

@@ -1,0 +1,127 @@
+"""Property-based tests (hypothesis) for policy invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.power import PolynomialPowerModel
+from repro.cpu.profiles import ideal_processor
+from repro.policies.dra import DraPolicy
+from repro.policies.feedback import FeedbackDvsPolicy
+from repro.policies.registry import make_policy
+from repro.policies.slack_sta import LpStaPolicy
+from repro.sim.engine import simulate
+from repro.tasks.arrivals import UniformJitterArrival
+from repro.tasks.execution import BimodalExecution, UniformExecution
+from repro.tasks.generators import generate_taskset
+
+workload = st.fixed_dictionaries({
+    "n": st.integers(min_value=2, max_value=5),
+    "u": st.floats(min_value=0.3, max_value=1.0),
+    "seed": st.integers(min_value=0, max_value=2**31 - 1),
+    "low": st.floats(min_value=0.05, max_value=1.0),
+})
+
+
+def _taskset(params):
+    return generate_taskset(params["n"], params["u"],
+                            np.random.default_rng(params["seed"]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=workload)
+def test_feedback_never_misses_even_with_adversarial_demand(params):
+    """The PID can be arbitrarily wrong; the safety floor must hold."""
+    ts = _taskset(params)
+    model = BimodalExecution(light=0.05, heavy=1.0, p_heavy=0.5,
+                             seed=params["seed"])
+    result = simulate(ts, ideal_processor(),
+                      FeedbackDvsPolicy(kp=2.0, ki=0.5, kd=1.0),
+                      model,
+                      horizon=min(ts.default_horizon(), 1200.0))
+    assert not result.missed
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=workload)
+def test_dra_alpha_queue_budget_conservation(params):
+    """The alpha queue never over-promises canonical time.
+
+    At every dispatch, the sum of remaining canonical budgets of all
+    entries with deadline <= D, plus the canonical budgets of future
+    jobs due by D, can never exceed the wall time left until D — the
+    packing invariant of the canonical static schedule (the property
+    whose violation caused a real deadline-miss bug).
+    """
+    ts = _taskset(params)
+    violations: list[float] = []
+
+    class CheckedDra(DraPolicy):
+        def select_speed(self, job, ctx):
+            speed = super().select_speed(job, ctx)
+            d = max(e.deadline for e in self._entries.values()) \
+                if self._entries else None
+            if d is not None:
+                total = sum(e.budget for e in self._entries.values()
+                            if e.deadline <= d + 1e-9)
+                future = 0.0
+                for task in ctx.taskset:
+                    nr = ctx.next_release_of(task.name)
+                    deadline = nr + task.deadline
+                    while deadline <= d + 1e-9:
+                        future += task.wcet / self._static_speed
+                        nr += task.period
+                        deadline += task.period
+                margin = (d - ctx.time) - (total + future)
+                violations.append(margin)
+            return speed
+
+    result = simulate(ts, ideal_processor(), CheckedDra(),
+                      UniformExecution(low=params["low"], high=1.0,
+                                       seed=params["seed"]),
+                      horizon=min(ts.default_horizon(), 1200.0))
+    assert not result.missed
+    assert all(m >= -1e-6 for m in violations)
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=workload,
+       jitter=st.floats(min_value=0.0, max_value=1.5))
+def test_sporadic_no_misses_property(params, jitter):
+    ts = _taskset(params)
+    result = simulate(
+        ts, ideal_processor(), make_policy("lpSTA"),
+        UniformExecution(low=params["low"], high=1.0,
+                         seed=params["seed"]),
+        arrival_model=UniformJitterArrival(jitter=jitter,
+                                           seed=params["seed"]),
+        horizon=min(ts.default_horizon(), 1200.0))
+    assert not result.missed
+
+
+@settings(max_examples=25, deadline=None)
+@given(alpha=st.floats(min_value=1.5, max_value=4.0),
+       static=st.floats(min_value=0.0, max_value=2.0))
+def test_critical_speed_minimises_energy_per_work(alpha, static):
+    model = PolynomialPowerModel(alpha=alpha, static=static)
+    s_star = model.critical_speed()
+    best = model.power(s_star) / s_star
+    for s in np.linspace(0.01, 1.0, 97):
+        assert best <= model.power(float(s)) / float(s) + 1e-6
+
+
+@settings(max_examples=12, deadline=None)
+@given(params=workload)
+def test_lpsta_speed_never_exceeds_static_baseline(params):
+    ts = _taskset(params)
+    policy = LpStaPolicy()
+    result = simulate(ts, ideal_processor(), policy,
+                      UniformExecution(low=params["low"], high=1.0,
+                                       seed=params["seed"]),
+                      horizon=min(ts.default_horizon(), 1200.0),
+                      record_trace=True)
+    baseline = policy.baseline_speed
+    for seg in result.trace:
+        if seg.kind.value == "run":
+            assert seg.speed <= baseline + 1e-9

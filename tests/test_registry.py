@@ -1,0 +1,41 @@
+"""Tests for the policy registry."""
+
+import pytest
+
+from repro.policies.base import DvsPolicy
+from repro.policies.registry import (
+    ALL_POLICY_NAMES,
+    ONLINE_POLICY_NAMES,
+    POLICY_FACTORIES,
+    make_policy,
+)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ALL_POLICY_NAMES)
+    def test_every_name_instantiates(self, name):
+        policy = make_policy(name)
+        assert isinstance(policy, DvsPolicy)
+        assert policy.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            make_policy("magic")
+
+    def test_online_names_subset(self):
+        assert set(ONLINE_POLICY_NAMES) <= set(ALL_POLICY_NAMES)
+        assert "none" not in ONLINE_POLICY_NAMES
+        assert "clairvoyant" not in ONLINE_POLICY_NAMES
+
+    def test_fresh_instances(self):
+        assert make_policy("ccEDF") is not make_policy("ccEDF")
+
+    def test_paper_policies_present(self):
+        assert "lpSTA" in POLICY_FACTORIES
+        assert "lpSEH" in POLICY_FACTORIES
+
+    def test_overhead_aware_parameters_forwarded(self):
+        policy = make_policy("DRA", overhead_aware=True,
+                             reserve_factor=3.0, hysteresis=0.1)
+        assert policy.reserve_factor == 3.0
+        assert policy.hysteresis == 0.1

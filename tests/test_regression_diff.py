@@ -1,0 +1,92 @@
+"""Tests for the result regression differ."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import FigureData, SeriesPoint, TableData
+from repro.experiments.io import write_json
+from repro.experiments.regression import diff_results, render_drifts
+
+
+def _export(tmp_path, name, mean_a=0.5, include_table=True,
+            extra_series=False):
+    directory = tmp_path / name
+    fig = FigureData("EXP-F1", "fig", "x", "y")
+    fig.add_point("lpSTA", SeriesPoint(0.5, mean_a, 0.01, 10))
+    fig.add_point("lpSTA", SeriesPoint(0.9, 0.61, 0.01, 10))
+    if extra_series:
+        fig.add_point("new", SeriesPoint(0.5, 0.9, 0.0, 1))
+    write_json(fig, directory / "exp_f1.json")
+    if include_table:
+        table = TableData("EXP-T1", "t", columns=("policy", "energy"))
+        table.add_row(policy="static", energy=0.49)
+        write_json(table, directory / "exp_t1.json")
+    return directory
+
+
+class TestDiff:
+    def test_identical_sets_have_no_drift(self, tmp_path):
+        a = _export(tmp_path, "a")
+        b = _export(tmp_path, "b")
+        assert diff_results(a, b) == []
+
+    def test_changed_mean_detected(self, tmp_path):
+        a = _export(tmp_path, "a", mean_a=0.5)
+        b = _export(tmp_path, "b", mean_a=0.52)
+        drifts = diff_results(a, b)
+        assert len(drifts) == 1
+        drift = drifts[0]
+        assert drift.experiment == "EXP-F1"
+        assert "lpSTA@x=0.5" in drift.key
+        assert drift.before == pytest.approx(0.5)
+        assert drift.after == pytest.approx(0.52)
+
+    def test_tolerance_suppresses_noise(self, tmp_path):
+        a = _export(tmp_path, "a", mean_a=0.5)
+        b = _export(tmp_path, "b", mean_a=0.5 + 1e-9)
+        assert diff_results(a, b) == []
+        assert diff_results(a, b, rel_tol=0.0, abs_tol=0.0)
+
+    def test_missing_experiment_detected(self, tmp_path):
+        a = _export(tmp_path, "a", include_table=True)
+        b = _export(tmp_path, "b", include_table=False)
+        drifts = diff_results(a, b)
+        assert any(d.experiment == "EXP-T1" and d.after is None
+                   for d in drifts)
+
+    def test_new_series_detected(self, tmp_path):
+        a = _export(tmp_path, "a")
+        b = _export(tmp_path, "b", extra_series=True)
+        drifts = diff_results(a, b)
+        assert any("new@x=0.5" in d.key and d.before is None
+                   for d in drifts)
+
+    def test_empty_dir_rejected(self, tmp_path):
+        a = _export(tmp_path, "a")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ExperimentError):
+            diff_results(a, empty)
+
+
+class TestRendering:
+    def test_no_drift_message(self):
+        assert "equivalent" in render_drifts([])
+
+    def test_drift_lines(self, tmp_path):
+        a = _export(tmp_path, "a", mean_a=0.5)
+        b = _export(tmp_path, "b", mean_a=0.7)
+        text = render_drifts(diff_results(a, b))
+        assert "1 drifted" in text
+        assert "EXP-F1" in text
+
+
+class TestCli:
+    def test_diff_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+        a = _export(tmp_path, "a", mean_a=0.5)
+        b = _export(tmp_path, "b", mean_a=0.5)
+        assert main(["diff", str(a), str(b)]) == 0
+        c = _export(tmp_path, "c", mean_a=0.9)
+        assert main(["diff", str(a), str(c)]) == 1
+        assert "drifted" in capsys.readouterr().out

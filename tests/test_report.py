@@ -1,0 +1,70 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import FigureData, SeriesPoint, TableData
+from repro.experiments.io import write_json
+from repro.experiments.report import build_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    fig = FigureData("EXP-F1", "A figure", "x", "y")
+    fig.add_point("lpSTA", SeriesPoint(0.5, 0.42, 0.01, 10))
+    fig.add_point("lpSTA", SeriesPoint(0.9, 0.61, 0.01, 10))
+    fig.add_point("static", SeriesPoint(0.5, 0.25, 0.0, 10))
+    fig.notes.append("a figure note")
+    write_json(fig, tmp_path / "exp_f1.json")
+
+    table = TableData("EXP-T1", "A table", columns=("profile", "levels"))
+    table.add_row(profile="ideal", levels="continuous")
+    write_json(table, tmp_path / "exp_t1.json")
+    return tmp_path
+
+
+class TestBuildReport:
+    def test_contains_all_experiments(self, results_dir):
+        report = build_report(results_dir)
+        assert "EXP-T1" in report
+        assert "EXP-F1" in report
+
+    def test_tables_before_figures(self, results_dir):
+        report = build_report(results_dir)
+        assert report.index("EXP-T1") < report.index("EXP-F1")
+
+    def test_figure_pivoted_by_x(self, results_dir):
+        report = build_report(results_dir)
+        assert "| 0.5 | 0.420 | 0.250 |" in report
+        assert "| 0.9 | 0.610 |" in report
+
+    def test_notes_rendered_as_quotes(self, results_dir):
+        assert "> a figure note" in build_report(results_dir)
+
+    def test_custom_title(self, results_dir):
+        report = build_report(results_dir, title="My repro")
+        assert report.startswith("# My repro")
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            build_report(tmp_path)
+
+    def test_non_experiment_json_ignored(self, results_dir, tmp_path):
+        (results_dir / "junk.json").write_text('{"hello": 1}')
+        report = build_report(results_dir)
+        assert "hello" not in report
+
+
+class TestWriteReport:
+    def test_writes_file(self, results_dir, tmp_path):
+        path = write_report(results_dir, tmp_path / "out" / "REPORT.md")
+        assert path.exists()
+        assert "EXP-F1" in path.read_text()
+
+
+class TestCli:
+    def test_report_command(self, results_dir, capsys):
+        from repro.cli import main
+        assert main(["report", str(results_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-F1" in out

@@ -1,0 +1,112 @@
+"""Tests for repro.sim.results and repro.analysis.stats."""
+
+import pytest
+
+from repro.analysis.stats import (
+    Summary,
+    geometric_mean,
+    relative_change,
+    summarize,
+)
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult, TaskStats
+
+
+class TestSimulationResult:
+    def test_total_energy_composition(self):
+        result = SimulationResult(policy="p", horizon=10.0,
+                                  busy_energy=3.0, idle_energy=1.0,
+                                  switch_energy=0.5)
+        assert result.total_energy == pytest.approx(4.5)
+
+    def test_normalized_energy(self):
+        a = SimulationResult(policy="a", horizon=10.0, busy_energy=2.0)
+        b = SimulationResult(policy="b", horizon=10.0, busy_energy=8.0)
+        assert a.normalized_energy(b) == pytest.approx(0.25)
+
+    def test_normalized_requires_same_horizon(self):
+        a = SimulationResult(policy="a", horizon=10.0, busy_energy=2.0)
+        b = SimulationResult(policy="b", horizon=20.0, busy_energy=8.0)
+        with pytest.raises(ConfigurationError):
+            a.normalized_energy(b)
+
+    def test_normalized_rejects_zero_baseline(self):
+        a = SimulationResult(policy="a", horizon=10.0, busy_energy=2.0)
+        z = SimulationResult(policy="z", horizon=10.0)
+        with pytest.raises(ConfigurationError):
+            a.normalized_energy(z)
+
+    def test_mean_speed_time_weighted(self):
+        result = SimulationResult(policy="p", horizon=10.0,
+                                  busy_time=4.0,
+                                  speed_time={0.5: 2.0, 1.0: 2.0})
+        assert result.mean_speed() == pytest.approx(0.75)
+
+    def test_mean_speed_idle_run(self):
+        assert SimulationResult(policy="p", horizon=1.0).mean_speed() == 0.0
+
+    def test_summary_renders(self):
+        result = SimulationResult(policy="p", horizon=10.0,
+                                  busy_energy=1.0, jobs_released=3,
+                                  jobs_completed=3)
+        text = result.summary()
+        assert "policy=p" in text
+        assert "released=3" in text
+
+
+class TestTaskStats:
+    def test_mean_response(self):
+        stats = TaskStats(completed=4, total_response=10.0)
+        assert stats.mean_response == pytest.approx(2.5)
+
+    def test_mean_response_no_jobs(self):
+        assert TaskStats().mean_response == 0.0
+
+
+class TestSummarize:
+    def test_basic_aggregates(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.count == 3
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.std == pytest.approx(1.0)
+
+    def test_single_value_has_no_spread(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+        assert s.ci95 == 0.0
+
+    def test_ci_shrinks_with_samples(self):
+        narrow = summarize([1.0, 2.0] * 50)
+        wide = summarize([1.0, 2.0])
+        assert narrow.ci95 < wide.ci95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_str(self):
+        assert "n=2" in str(summarize([1.0, 2.0]))
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+
+
+class TestRelativeChange:
+    def test_saving_is_negative(self):
+        assert relative_change(80.0, 100.0) == pytest.approx(-0.2)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_change(1.0, 0.0)

@@ -1,0 +1,63 @@
+"""Tests for repro.sim.scheduler priority orders."""
+
+import pytest
+
+from repro.sim.scheduler import EDFScheduler, FIFOScheduler, RMScheduler
+from repro.tasks.job import Job
+from repro.tasks.task import PeriodicTask
+
+
+def job(name, period, index=0, wcet=1.0, phase=0.0):
+    task = PeriodicTask(name, wcet=wcet, period=period, phase=phase)
+    return Job.from_task(task, index, work=wcet)
+
+
+class TestEDF:
+    def test_earliest_deadline_wins(self):
+        sched = EDFScheduler()
+        a = job("A", period=10.0)        # deadline 10
+        b = job("B", period=4.0)         # deadline 4
+        assert sched.pick([a, b]) is b
+
+    def test_tie_broken_by_release(self):
+        sched = EDFScheduler()
+        early = job("A", period=10.0, index=0)            # d=10, r=0
+        late = job("B", period=5.0, index=1)              # d=10, r=5
+        assert sched.pick([early, late]) is early
+
+    def test_tie_broken_by_name_for_identical_jobs(self):
+        sched = EDFScheduler()
+        a = job("A", period=10.0)
+        b = job("B", period=10.0)
+        assert sched.pick([b, a]) is a
+
+    def test_empty_ready_returns_none(self):
+        assert EDFScheduler().pick([]) is None
+
+    def test_sorted_ready_full_order(self):
+        sched = EDFScheduler()
+        jobs = [job("A", 10.0), job("B", 4.0), job("C", 7.0)]
+        assert [j.task.name for j in sched.sorted_ready(jobs)] == \
+            ["B", "C", "A"]
+
+
+class TestRM:
+    def test_shortest_period_wins_regardless_of_deadline(self):
+        sched = RMScheduler()
+        # B's current deadline is later, but its period is shorter.
+        a = job("A", period=10.0, index=0)     # d=10
+        b = job("B", period=4.0, index=3)      # d=16
+        assert sched.pick([a, b]) is b
+
+    def test_static_priority_stable_across_jobs(self):
+        sched = RMScheduler()
+        assert sched.sort_key(job("A", 4.0, index=0))[:1] == \
+            sched.sort_key(job("A", 4.0, index=7))[:1]
+
+
+class TestFIFO:
+    def test_first_release_wins(self):
+        sched = FIFOScheduler()
+        first = job("A", period=10.0, index=0)     # r=0
+        second = job("B", period=3.0, index=1)     # r=3
+        assert sched.pick([second, first]) is first

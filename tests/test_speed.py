@@ -1,0 +1,126 @@
+"""Tests for repro.cpu.speed scales and quantization."""
+
+import pytest
+
+from repro.cpu.speed import ContinuousScale, DiscreteScale, uniform_levels
+from repro.errors import ConfigurationError
+
+
+class TestContinuousScale:
+    def test_quantize_passthrough_in_range(self):
+        scale = ContinuousScale(min_speed=0.1)
+        assert scale.quantize(0.42) == pytest.approx(0.42)
+
+    def test_quantize_clamps_low(self):
+        scale = ContinuousScale(min_speed=0.1)
+        assert scale.quantize(0.05) == 0.1
+        assert scale.quantize(-1.0) == 0.1
+
+    def test_quantize_clamps_high(self):
+        assert ContinuousScale().quantize(1.7) == 1.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContinuousScale().quantize(float("nan"))
+
+    def test_is_attainable(self):
+        scale = ContinuousScale(min_speed=0.2)
+        assert scale.is_attainable(0.5)
+        assert scale.is_attainable(1.0)
+        assert not scale.is_attainable(0.1)
+        assert not scale.is_attainable(1.1)
+
+    def test_flags(self):
+        scale = ContinuousScale(min_speed=0.3)
+        assert scale.is_continuous
+        assert scale.min_speed == 0.3
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_invalid_min_speed(self, bad):
+        with pytest.raises(ConfigurationError):
+            ContinuousScale(min_speed=bad)
+
+
+class TestDiscreteScale:
+    @pytest.fixture
+    def scale(self) -> DiscreteScale:
+        return DiscreteScale([0.25, 0.5, 0.75, 1.0])
+
+    def test_levels_sorted(self):
+        scale = DiscreteScale([1.0, 0.5, 0.75])
+        assert scale.levels == (0.5, 0.75, 1.0)
+
+    def test_quantize_rounds_up(self, scale):
+        assert scale.quantize(0.3) == 0.5
+        assert scale.quantize(0.51) == 0.75
+        assert scale.quantize(0.76) == 1.0
+
+    def test_quantize_exact_level_stays(self, scale):
+        for level in scale.levels:
+            assert scale.quantize(level) == level
+
+    def test_quantize_exact_level_with_float_noise(self, scale):
+        assert scale.quantize(0.5 + 1e-14) == 0.5
+        assert scale.quantize(0.5 - 1e-14) == 0.5
+
+    def test_quantize_below_min(self, scale):
+        assert scale.quantize(0.01) == 0.25
+        assert scale.quantize(0.0) == 0.25
+
+    def test_quantize_above_max(self, scale):
+        assert scale.quantize(1.3) == 1.0
+
+    def test_min_speed(self, scale):
+        assert scale.min_speed == 0.25
+
+    def test_is_attainable(self, scale):
+        assert scale.is_attainable(0.75)
+        assert not scale.is_attainable(0.6)
+
+    def test_not_continuous(self, scale):
+        assert not scale.is_continuous
+
+    def test_requires_top_level_one(self):
+        with pytest.raises(ConfigurationError, match="highest level"):
+            DiscreteScale([0.25, 0.5])
+
+    def test_rejects_nonpositive_levels(self):
+        with pytest.raises(ConfigurationError):
+            DiscreteScale([0.0, 1.0])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            DiscreteScale([0.5, 0.5, 1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            DiscreteScale([])
+
+    def test_single_level_scale(self):
+        scale = DiscreteScale([1.0])
+        assert scale.quantize(0.1) == 1.0
+        assert scale.min_speed == 1.0
+
+
+class TestUniformLevels:
+    def test_count_and_endpoints(self):
+        scale = uniform_levels(5, min_speed=0.2)
+        assert len(scale.levels) == 5
+        assert scale.levels[0] == pytest.approx(0.2)
+        assert scale.levels[-1] == 1.0
+
+    def test_even_spacing(self):
+        scale = uniform_levels(4, min_speed=0.25)
+        gaps = [b - a for a, b in zip(scale.levels, scale.levels[1:])]
+        assert gaps == pytest.approx([0.25, 0.25, 0.25])
+
+    def test_single_level(self):
+        assert uniform_levels(1).levels == (1.0,)
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            uniform_levels(0)
+
+    def test_invalid_min_speed_for_multiple(self):
+        with pytest.raises(ConfigurationError):
+            uniform_levels(3, min_speed=1.0)

@@ -1,0 +1,128 @@
+"""Tests for repro.tasks.task.PeriodicTask."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tasks.task import PeriodicTask
+
+
+class TestConstruction:
+    def test_basic_task(self):
+        task = PeriodicTask("T1", wcet=2.0, period=10.0)
+        assert task.wcet == 2.0
+        assert task.period == 10.0
+        assert task.deadline == 10.0  # implicit
+        assert task.phase == 0.0
+        assert task.bcet == 0.0
+
+    def test_explicit_constrained_deadline(self):
+        task = PeriodicTask("T1", wcet=2.0, period=10.0, deadline=5.0)
+        assert task.deadline == 5.0
+        assert not task.implicit_deadline
+
+    def test_implicit_deadline_flag(self):
+        assert PeriodicTask("T", 1.0, 10.0).implicit_deadline
+
+    @pytest.mark.parametrize("wcet", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_wcet_rejected(self, wcet):
+        with pytest.raises(ConfigurationError):
+            PeriodicTask("T", wcet=wcet, period=10.0)
+
+    @pytest.mark.parametrize("period", [0.0, -5.0])
+    def test_invalid_period_rejected(self, period):
+        with pytest.raises(ConfigurationError):
+            PeriodicTask("T", wcet=1.0, period=period)
+
+    def test_deadline_beyond_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicTask("T", wcet=1.0, period=10.0, deadline=11.0)
+
+    def test_wcet_beyond_deadline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicTask("T", wcet=6.0, period=10.0, deadline=5.0)
+
+    def test_negative_phase_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicTask("T", wcet=1.0, period=10.0, phase=-1.0)
+
+    def test_bcet_above_wcet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicTask("T", wcet=1.0, period=10.0, bcet=2.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicTask("", wcet=1.0, period=10.0)
+
+    def test_frozen(self):
+        task = PeriodicTask("T", 1.0, 10.0)
+        with pytest.raises(AttributeError):
+            task.wcet = 2.0
+
+
+class TestDerivedProperties:
+    def test_utilization(self):
+        assert PeriodicTask("T", 2.0, 10.0).utilization == pytest.approx(0.2)
+
+    def test_density_with_constrained_deadline(self):
+        task = PeriodicTask("T", 2.0, 10.0, deadline=4.0)
+        assert task.density == pytest.approx(0.5)
+
+    def test_density_equals_utilization_for_implicit(self):
+        task = PeriodicTask("T", 2.0, 10.0)
+        assert task.density == task.utilization
+
+
+class TestReleasePattern:
+    def test_release_times(self):
+        task = PeriodicTask("T", 1.0, 10.0, phase=3.0)
+        assert task.release_time(0) == 3.0
+        assert task.release_time(1) == 13.0
+        assert task.release_time(5) == 53.0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicTask("T", 1.0, 10.0).release_time(-1)
+
+    def test_absolute_deadline(self):
+        task = PeriodicTask("T", 1.0, 10.0, deadline=6.0, phase=2.0)
+        assert task.absolute_deadline(0) == 8.0
+        assert task.absolute_deadline(2) == 28.0
+
+    def test_next_release_before_phase(self):
+        task = PeriodicTask("T", 1.0, 10.0, phase=5.0)
+        assert task.next_release_at_or_after(0.0) == 5.0
+
+    def test_next_release_exactly_at_release(self):
+        task = PeriodicTask("T", 1.0, 10.0)
+        assert task.next_release_at_or_after(20.0) == 20.0
+
+    def test_next_release_between_releases(self):
+        task = PeriodicTask("T", 1.0, 10.0)
+        assert task.next_release_at_or_after(21.0) == 30.0
+
+    def test_next_release_with_phase(self):
+        task = PeriodicTask("T", 1.0, 7.0, phase=2.0)
+        assert task.next_release_at_or_after(10.0) == 16.0
+
+
+class TestScaled:
+    def test_scaled_wcet(self):
+        task = PeriodicTask("T", 2.0, 10.0, bcet=1.0)
+        scaled = task.scaled(2.0)
+        assert scaled.wcet == pytest.approx(4.0)
+        assert scaled.bcet == pytest.approx(2.0)
+        assert scaled.period == 10.0
+
+    def test_scaled_rename(self):
+        scaled = PeriodicTask("T", 2.0, 10.0).scaled(0.5, name="S")
+        assert scaled.name == "S"
+        assert scaled.wcet == pytest.approx(1.0)
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicTask("T", 2.0, 10.0).scaled(0.0)
+
+    def test_scaled_beyond_deadline_rejected(self):
+        # Scaling up so the WCET no longer fits must fail loudly.
+        with pytest.raises(ConfigurationError):
+            PeriodicTask("T", 6.0, 10.0).scaled(2.0)

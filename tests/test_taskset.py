@@ -1,0 +1,124 @@
+"""Tests for repro.tasks.taskset.TaskSet."""
+
+import pytest
+
+from repro.errors import ConfigurationError, InfeasibleTaskSetError
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskSet([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            TaskSet([PeriodicTask("A", 1.0, 10.0),
+                     PeriodicTask("A", 2.0, 20.0)])
+
+    def test_iteration_preserves_order(self, three_task_set):
+        assert [t.name for t in three_task_set] == ["A", "B", "C"]
+
+    def test_len(self, three_task_set):
+        assert len(three_task_set) == 3
+
+
+class TestLookup:
+    def test_by_index(self, two_task_set):
+        assert two_task_set[0].name == "A"
+        assert two_task_set[1].name == "B"
+
+    def test_by_name(self, two_task_set):
+        assert two_task_set["B"].period == 10.0
+
+    def test_unknown_name_raises_keyerror(self, two_task_set):
+        with pytest.raises(KeyError, match="no task named"):
+            two_task_set["Z"]
+
+    def test_contains(self, two_task_set):
+        assert "A" in two_task_set
+        assert "Z" not in two_task_set
+
+
+class TestAggregates:
+    def test_utilization(self, two_task_set):
+        assert two_task_set.utilization == pytest.approx(0.5)
+
+    def test_density_equals_utilization_for_implicit(self, two_task_set):
+        assert two_task_set.density == pytest.approx(two_task_set.utilization)
+
+    def test_min_max_period(self, three_task_set):
+        assert three_task_set.min_period == 5.0
+        assert three_task_set.max_period == 40.0
+
+    def test_implicit_deadlines_flag(self, two_task_set):
+        assert two_task_set.implicit_deadlines
+        mixed = TaskSet([PeriodicTask("A", 1.0, 10.0, deadline=5.0)])
+        assert not mixed.implicit_deadlines
+
+
+class TestHyperperiod:
+    def test_integer_periods(self, two_task_set):
+        assert two_task_set.hyperperiod() == pytest.approx(20.0)
+
+    def test_fractional_periods(self):
+        ts = TaskSet([PeriodicTask("A", 0.1, 2.5),
+                      PeriodicTask("B", 0.1, 1.5)])
+        assert ts.hyperperiod() == pytest.approx(7.5)
+
+    def test_single_task(self):
+        ts = TaskSet([PeriodicTask("A", 1.0, 7.0)])
+        assert ts.hyperperiod() == pytest.approx(7.0)
+
+
+class TestHorizon:
+    def test_default_horizon_at_least_one_hyperperiod(self, two_task_set):
+        horizon = two_task_set.default_horizon()
+        assert horizon >= two_task_set.hyperperiod()
+
+    def test_default_horizon_covers_min_jobs(self):
+        ts = TaskSet([PeriodicTask("A", 1.0, 10.0)])
+        horizon = ts.default_horizon(min_jobs_per_task=20)
+        assert horizon >= 20 * 10.0
+
+    def test_horizon_includes_phase(self):
+        ts = TaskSet([PeriodicTask("A", 1.0, 10.0, phase=100.0)])
+        assert ts.default_horizon() > 100.0
+
+
+class TestFeasibility:
+    def test_feasible_set_passes(self, two_task_set):
+        two_task_set.assert_feasible_edf()  # must not raise
+
+    def test_saturated_set_passes(self, saturated_task_set):
+        saturated_task_set.assert_feasible_edf()
+
+    def test_overloaded_set_rejected(self):
+        ts = TaskSet([PeriodicTask("A", 6.0, 10.0),
+                      PeriodicTask("B", 6.0, 10.0)])
+        with pytest.raises(InfeasibleTaskSetError):
+            ts.assert_feasible_edf()
+
+
+class TestScaling:
+    def test_scaled_to_utilization(self, two_task_set):
+        scaled = two_task_set.scaled_to_utilization(0.9)
+        assert scaled.utilization == pytest.approx(0.9)
+        # Periods unchanged, proportions preserved.
+        assert scaled[0].period == two_task_set[0].period
+        ratio0 = scaled[0].wcet / two_task_set[0].wcet
+        ratio1 = scaled[1].wcet / two_task_set[1].wcet
+        assert ratio0 == pytest.approx(ratio1)
+
+    def test_invalid_target_rejected(self, two_task_set):
+        with pytest.raises(ConfigurationError):
+            two_task_set.scaled_to_utilization(0.0)
+
+
+class TestDescribe:
+    def test_describe_contains_all_tasks(self, three_task_set):
+        text = three_task_set.describe()
+        for task in three_task_set:
+            assert task.name in text
+        assert "U=0.75" in text

@@ -1,0 +1,85 @@
+"""Tests for repro.sim.tracing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.tracing import Segment, SegmentKind, TraceRecorder
+
+
+def run_segment(start, end, job="T#0", task="T", speed=0.5, energy=1.0):
+    return Segment(start=start, end=end, kind=SegmentKind.RUN,
+                   speed=speed, energy=energy, job=job, task=task)
+
+
+class TestSegment:
+    def test_duration(self):
+        assert run_segment(1.0, 3.0).duration == pytest.approx(2.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            run_segment(3.0, 1.0)
+
+
+class TestRecorder:
+    def test_records_in_order(self):
+        rec = TraceRecorder()
+        rec.run(0.0, 1.0, "A#0", "A", 0.5, 0.1)
+        rec.idle(1.0, 2.0, 0.0)
+        rec.run(2.0, 3.0, "B#0", "B", 1.0, 1.0)
+        assert len(rec) == 3
+        assert [s.kind for s in rec] == [
+            SegmentKind.RUN, SegmentKind.IDLE, SegmentKind.RUN]
+
+    def test_merges_contiguous_identical_runs(self):
+        rec = TraceRecorder()
+        rec.run(0.0, 1.0, "A#0", "A", 0.5, 0.1)
+        rec.run(1.0, 2.0, "A#0", "A", 0.5, 0.1)
+        assert len(rec) == 1
+        assert rec.segments[0].end == 2.0
+        assert rec.segments[0].energy == pytest.approx(0.2)
+
+    def test_does_not_merge_different_speeds(self):
+        rec = TraceRecorder()
+        rec.run(0.0, 1.0, "A#0", "A", 0.5, 0.1)
+        rec.run(1.0, 2.0, "A#0", "A", 0.75, 0.1)
+        assert len(rec) == 2
+
+    def test_overlap_rejected(self):
+        rec = TraceRecorder()
+        rec.run(0.0, 2.0, "A#0", "A", 0.5, 0.1)
+        with pytest.raises(SimulationError, match="overlap"):
+            rec.run(1.0, 3.0, "B#0", "B", 0.5, 0.1)
+
+    def test_zero_duration_dropped(self):
+        rec = TraceRecorder()
+        rec.run(1.0, 1.0, "A#0", "A", 0.5, 0.0)
+        assert len(rec) == 0
+
+    def test_disabled_recorder_is_noop(self):
+        rec = TraceRecorder(enabled=False)
+        rec.run(0.0, 1.0, "A#0", "A", 0.5, 0.1)
+        assert len(rec) == 0
+
+    def test_aggregates(self):
+        rec = TraceRecorder()
+        rec.run(0.0, 2.0, "A#0", "A", 0.5, 0.25)
+        rec.idle(2.0, 3.0, 0.05)
+        rec.switch(3.0, 3.1, 0.01, to_speed=1.0)
+        rec.run(3.1, 4.1, "B#0", "B", 1.0, 1.0)
+        assert rec.busy_time() == pytest.approx(3.0)
+        assert rec.idle_time() == pytest.approx(1.0)
+        assert rec.total_energy() == pytest.approx(1.31)
+        assert rec.executed_work() == pytest.approx(2.0)
+        assert rec.executed_work("A#0") == pytest.approx(1.0)
+
+
+class TestGantt:
+    def test_render_shows_tasks_and_idle(self):
+        rec = TraceRecorder()
+        rec.run(0.0, 5.0, "alpha#0", "alpha", 1.0, 1.0)
+        rec.idle(5.0, 10.0, 0.0)
+        strip = rec.render_gantt(width=10, end=10.0)
+        assert strip == "AAAAA....."
+
+    def test_empty_trace(self):
+        assert "empty" in TraceRecorder().render_gantt()

@@ -1,0 +1,67 @@
+"""Tests for repro.cpu.transition overhead models."""
+
+import pytest
+
+from repro.cpu.transition import (
+    ConstantOverhead,
+    NoOverhead,
+    VoltageSwitchOverhead,
+)
+from repro.errors import ConfigurationError
+
+
+class TestNoOverhead:
+    def test_everything_free(self):
+        model = NoOverhead()
+        assert model.time_overhead(0.5, 1.0, 1.0, 2.0) == 0.0
+        assert model.energy_overhead(0.5, 1.0, 1.0, 2.0) == 0.0
+        assert model.is_free
+
+
+class TestConstantOverhead:
+    def test_fixed_costs(self):
+        model = ConstantOverhead(switch_time=0.1, switch_energy=2.0)
+        assert model.time_overhead(0.2, 0.9, 1.0, 1.8) == 0.1
+        assert model.energy_overhead(0.2, 0.9, 1.0, 1.8) == 2.0
+        assert not model.is_free
+
+    def test_zero_costs_are_free(self):
+        assert ConstantOverhead().is_free
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantOverhead(switch_time=-0.1)
+        with pytest.raises(ConfigurationError):
+            ConstantOverhead(switch_energy=-1.0)
+
+
+class TestVoltageSwitch:
+    def test_energy_scales_with_voltage_swing(self):
+        model = VoltageSwitchOverhead(switch_time=0.14, eta=0.9, c_dd=5e-6)
+        small = model.energy_overhead(0.5, 0.6, 1.0, 1.1)
+        large = model.energy_overhead(0.2, 1.0, 0.8, 1.8)
+        assert large > small
+
+    def test_energy_formula(self):
+        model = VoltageSwitchOverhead(switch_time=0.0, eta=0.9, c_dd=5e-6)
+        expected = 0.9 * 5e-6 * abs(2.0**2 - 5.0**2)
+        assert model.energy_overhead(0.25, 1.0, 2.0, 5.0) == \
+            pytest.approx(expected)
+
+    def test_symmetric_in_direction(self):
+        model = VoltageSwitchOverhead()
+        up = model.energy_overhead(0.2, 1.0, 1.0, 1.8)
+        down = model.energy_overhead(1.0, 0.2, 1.8, 1.0)
+        assert up == pytest.approx(down)
+
+    def test_time_is_constant(self):
+        model = VoltageSwitchOverhead(switch_time=0.14)
+        assert model.time_overhead(0.2, 0.9, 1.0, 1.8) == 0.14
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            VoltageSwitchOverhead(switch_time=-1.0)
+        with pytest.raises(ConfigurationError):
+            VoltageSwitchOverhead(eta=0.0)
+        with pytest.raises(ConfigurationError):
+            VoltageSwitchOverhead(c_dd=-1.0)

@@ -1,0 +1,88 @@
+"""Tests for repro.types tolerant comparisons."""
+
+import math
+
+import pytest
+
+from repro.types import (
+    TIME_EPS,
+    approx_eq,
+    approx_ge,
+    approx_gt,
+    approx_le,
+    approx_lt,
+    clamp,
+    is_finite_positive,
+    snap_nonnegative,
+)
+
+
+class TestApproxComparisons:
+    def test_le_within_tolerance(self):
+        assert approx_le(1.0 + TIME_EPS / 2, 1.0)
+
+    def test_le_strictly_below(self):
+        assert approx_le(0.5, 1.0)
+
+    def test_le_rejects_clear_violation(self):
+        assert not approx_le(1.0 + 10 * TIME_EPS, 1.0)
+
+    def test_ge_mirror_of_le(self):
+        assert approx_ge(1.0 - TIME_EPS / 2, 1.0)
+        assert not approx_ge(1.0 - 10 * TIME_EPS, 1.0)
+
+    def test_eq_symmetric(self):
+        assert approx_eq(2.0, 2.0 + TIME_EPS / 3)
+        assert approx_eq(2.0 + TIME_EPS / 3, 2.0)
+        assert not approx_eq(2.0, 2.1)
+
+    def test_lt_excludes_near_equal(self):
+        assert not approx_lt(1.0 - TIME_EPS / 2, 1.0)
+        assert approx_lt(0.9, 1.0)
+
+    def test_gt_excludes_near_equal(self):
+        assert not approx_gt(1.0 + TIME_EPS / 2, 1.0)
+        assert approx_gt(1.1, 1.0)
+
+    def test_custom_epsilon(self):
+        assert approx_eq(1.0, 1.05, eps=0.1)
+        assert not approx_eq(1.0, 1.05, eps=0.01)
+
+
+class TestClamp:
+    def test_inside_interval_unchanged(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below_clamps_to_low(self):
+        assert clamp(-3.0, 0.0, 1.0) == 0.0
+
+    def test_above_clamps_to_high(self):
+        assert clamp(7.0, 0.0, 1.0) == 1.0
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1.0, 0.0)
+
+
+class TestSnapNonnegative:
+    def test_small_negative_snaps_to_zero(self):
+        assert snap_nonnegative(-TIME_EPS / 2) == 0.0
+
+    def test_large_negative_passes_through(self):
+        assert snap_nonnegative(-1.0) == -1.0
+
+    def test_positive_unchanged(self):
+        assert snap_nonnegative(0.25) == 0.25
+
+    def test_zero_unchanged(self):
+        assert snap_nonnegative(0.0) == 0.0
+
+
+class TestIsFinitePositive:
+    @pytest.mark.parametrize("value", [1.0, 0.001, 1e12])
+    def test_accepts_positive_finite(self, value):
+        assert is_finite_positive(value)
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, math.inf, math.nan])
+    def test_rejects_non_positive_or_non_finite(self, value):
+        assert not is_finite_positive(value)

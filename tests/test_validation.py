@@ -1,0 +1,129 @@
+"""Tests for repro.analysis.validation trace validators."""
+
+import pytest
+
+from repro.analysis.validation import (
+    validate_energy,
+    validate_jobs,
+    validate_run,
+    validate_speeds,
+    validate_structure,
+)
+from repro.cpu.profiles import generic4_processor, ideal_processor
+from repro.errors import TraceValidationError
+from repro.policies.registry import make_policy
+from repro.sim.engine import simulate
+from repro.sim.tracing import Segment, SegmentKind, TraceRecorder
+from repro.tasks.execution import UniformExecution
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+@pytest.fixture
+def good_run(three_task_set, processor, half_model):
+    return simulate(three_task_set, processor, make_policy("lpSTA"),
+                    half_model, horizon=80.0, record_trace=True)
+
+
+class TestEndToEnd:
+    def test_valid_run_passes_all_validators(self, good_run,
+                                             three_task_set, processor,
+                                             half_model):
+        validate_run(good_run, three_task_set, processor, half_model)
+
+    @pytest.mark.parametrize("policy_name",
+                             ["none", "static", "ccEDF", "DRA",
+                              "lpSEH", "clairvoyant"])
+    def test_all_policies_produce_valid_traces(self, policy_name,
+                                               three_task_set,
+                                               half_model):
+        proc = ideal_processor()
+        result = simulate(three_task_set, proc, make_policy(policy_name),
+                          half_model, horizon=80.0, record_trace=True)
+        validate_run(result, three_task_set, proc, half_model)
+
+    def test_discrete_processor_trace_valid(self, three_task_set,
+                                            half_model):
+        proc = generic4_processor()
+        result = simulate(three_task_set, proc, make_policy("lpSEH"),
+                          half_model, horizon=80.0, record_trace=True)
+        validate_run(result, three_task_set, proc, half_model)
+
+    def test_missing_trace_rejected(self, three_task_set, processor,
+                                    half_model):
+        result = simulate(three_task_set, processor, make_policy("none"),
+                          half_model, horizon=80.0, record_trace=False)
+        with pytest.raises(TraceValidationError, match="no trace"):
+            validate_run(result, three_task_set, processor, half_model)
+
+
+def _recorder_with(*segments):
+    rec = TraceRecorder()
+    rec._segments = list(segments)  # bypass recording guards on purpose
+    return rec
+
+
+class TestCorruptedTraces:
+    def test_overlap_detected(self):
+        rec = _recorder_with(
+            Segment(0.0, 2.0, SegmentKind.RUN, 1.0, 2.0, "T#0", "T"),
+            Segment(1.0, 3.0, SegmentKind.RUN, 1.0, 2.0, "T#1", "T"))
+        with pytest.raises(TraceValidationError, match="overlap"):
+            validate_structure(rec)
+
+    def test_unattainable_speed_detected(self):
+        proc = generic4_processor()  # levels .25/.5/.75/1
+        rec = _recorder_with(
+            Segment(0.0, 1.0, SegmentKind.RUN, 0.6, 1.0, "T#0", "T"))
+        with pytest.raises(TraceValidationError, match="unattainable"):
+            validate_speeds(rec, proc)
+
+    def test_execution_before_release_detected(self):
+        ts = TaskSet([PeriodicTask("T", wcet=2.0, period=10.0,
+                                   phase=5.0)])
+        model = UniformExecution(low=1.0, high=1.0, seed=0)
+        rec = _recorder_with(
+            Segment(0.0, 2.0, SegmentKind.RUN, 1.0, 2.0, "T#0", "T"))
+        with pytest.raises(TraceValidationError, match="before its release"):
+            validate_jobs(rec, ts, model, horizon=10.0)
+
+    def test_overrun_detected(self):
+        ts = TaskSet([PeriodicTask("T", wcet=2.0, period=10.0)])
+        model = UniformExecution(low=1.0, high=1.0, seed=0)
+        rec = _recorder_with(
+            Segment(0.0, 3.0, SegmentKind.RUN, 1.0, 3.0, "T#0", "T"))
+        with pytest.raises(TraceValidationError, match="more than"):
+            validate_jobs(rec, ts, model, horizon=10.0)
+
+    def test_late_completion_detected(self):
+        ts = TaskSet([PeriodicTask("T", wcet=2.0, period=10.0)])
+        model = UniformExecution(low=1.0, high=1.0, seed=0)
+        rec = _recorder_with(
+            Segment(9.0, 11.0, SegmentKind.RUN, 1.0, 2.0, "T#0", "T"))
+        with pytest.raises(TraceValidationError, match="deadline"):
+            validate_jobs(rec, ts, model, horizon=20.0)
+
+    def test_starved_job_detected(self):
+        ts = TaskSet([PeriodicTask("T", wcet=2.0, period=10.0)])
+        model = UniformExecution(low=1.0, high=1.0, seed=0)
+        rec = _recorder_with(
+            Segment(0.0, 1.0, SegmentKind.RUN, 1.0, 1.0, "T#0", "T"))
+        with pytest.raises(TraceValidationError, match="only retired"):
+            validate_jobs(rec, ts, model, horizon=20.0)
+
+    def test_unknown_task_detected(self):
+        ts = TaskSet([PeriodicTask("T", wcet=2.0, period=10.0)])
+        model = UniformExecution(low=1.0, high=1.0, seed=0)
+        rec = _recorder_with(
+            Segment(0.0, 2.0, SegmentKind.RUN, 1.0, 2.0, "X#0", "X"))
+        with pytest.raises(TraceValidationError, match="unknown task"):
+            validate_jobs(rec, ts, model, horizon=10.0)
+
+    def test_energy_mismatch_detected(self, good_run, three_task_set,
+                                      processor):
+        seg = good_run.trace._segments[0]
+        good_run.trace._segments[0] = Segment(
+            seg.start, seg.end, seg.kind, seg.speed,
+            seg.energy + 1.0, seg.job, seg.task)
+        with pytest.raises(TraceValidationError):
+            validate_energy(good_run.trace, processor, good_run)
