@@ -23,6 +23,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from pathlib import Path
@@ -30,6 +31,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.cpu.profiles import PROCESSOR_PROFILES, load_profile
+from repro.errors import ConfigurationError
 from repro.experiments.figures import FIGURES
 from repro.experiments.io import write_csv, write_json
 from repro.experiments.tables import TABLES
@@ -57,19 +59,33 @@ def _export(data, out_dir: str | None) -> None:
     print(f"  exported {csv_path} and {json_path}")
 
 
+def _call_driver(driver, args: argparse.Namespace):
+    """Invoke an experiment driver with only the options it accepts."""
+    offered = {"quick": args.quick}
+    if getattr(args, "checkpoint_dir", None):
+        offered["checkpoint_dir"] = args.checkpoint_dir
+        offered["resume"] = args.resume
+    params = inspect.signature(driver).parameters
+    accepted = {k: v for k, v in offered.items() if k in params}
+    dropped = set(offered) - set(accepted) - {"quick"}
+    if dropped:
+        print(f"  note: {driver.__name__} does not support "
+              f"{', '.join(sorted(dropped))}; ignored", file=sys.stderr)
+    return driver(**accepted)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = list(TABLES) + list(FIGURES) if args.experiment == "all" \
         else [args.experiment]
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     for name in names:
         started = time.time()
         if name in TABLES:
-            driver = TABLES[name]
-            try:
-                data = driver(quick=args.quick)
-            except TypeError:
-                data = driver()
+            data = _call_driver(TABLES[name], args)
         elif name in FIGURES:
-            data = FIGURES[name](quick=args.quick)
+            data = _call_driver(FIGURES[name], args)
         else:
             known = ", ".join(list(TABLES) + list(FIGURES) + ["all"])
             print(f"unknown experiment {name!r}; known: {known}",
@@ -114,6 +130,7 @@ def _make_idle_policy(args: argparse.Namespace):
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.faults import parse_fault_plan
     if args.benchmark:
         taskset = load_benchmark(args.benchmark)
     else:
@@ -121,17 +138,34 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             args.tasks, args.utilization, np.random.default_rng(args.seed))
     processor = load_profile(args.processor)
     model = model_for_bcwc_ratio(args.bcwc, seed=args.seed)
+    try:
+        faults = (parse_fault_plan(args.faults, seed=args.seed)
+                  if args.faults else None)
+    except ConfigurationError as exc:
+        print(f"bad --faults spec: {exc}", file=sys.stderr)
+        return 2
+    margin = args.governor_margin
+    if margin is None:
+        # Default the margin to the provisioned overrun severity.
+        margin = (faults.overrun.factor
+                  if faults is not None and faults.overrun is not None
+                  else 1.0)
     policy = make_policy(args.policy,
                          overhead_aware=args.overhead_aware,
-                         critical_speed_floor=args.critical_speed)
+                         critical_speed_floor=args.critical_speed,
+                         governed=args.governed,
+                         governor_margin=margin)
     horizon = args.horizon or taskset.default_horizon(
         min_jobs_per_task=10, max_hyperperiods=1)
     result = simulate(taskset, processor, policy, model,
                       arrival_model=_make_arrival_model(args),
                       idle_policy=_make_idle_policy(args),
-                      horizon=horizon, record_trace=args.gantt)
+                      horizon=horizon, record_trace=args.gantt,
+                      allow_misses=args.allow_misses, faults=faults)
     print(taskset.describe())
     print(processor.describe())
+    if faults is not None:
+        print(faults.describe())
     print(result.summary())
     if args.gantt and result.trace is not None:
         print("gantt:", result.trace.render_gantt(width=100, end=horizon))
@@ -174,6 +208,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for CSV/JSON export")
     p_run.add_argument("--chart", action="store_true",
                        help="also draw an ASCII chart for figures")
+    p_run.add_argument("--checkpoint-dir", default=None,
+                       help="persist per-cell sweep checkpoints here "
+                            "(experiments that support it)")
+    p_run.add_argument("--resume", action="store_true",
+                       help="resume a killed sweep from its checkpoints")
     p_run.set_defaults(func=_cmd_run)
 
     p_sim = sub.add_parser("simulate", help="one ad-hoc simulation")
@@ -203,6 +242,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--idle", default="default",
                        choices=("default", "sleep", "procrastinate"),
                        help="idle-time management")
+    p_sim.add_argument("--faults", default=None, metavar="SPEC",
+                       help="inject faults, e.g. 'overrun:1.5' or "
+                            "'overrun:1.4:0.3,jitter:0.2,stuck:0.1' "
+                            "(kinds: overrun, jitter, burst, drift, "
+                            "stuck, delay, quantize)")
+    p_sim.add_argument("--governed", action="store_true",
+                       help="wrap the policy in the runtime safety "
+                            "governor (slack-based feasibility floor)")
+    p_sim.add_argument("--governor-margin", type=float, default=None,
+                       help="WCET margin the governor provisions for "
+                            "(default: the overrun factor of --faults, "
+                            "else 1.0)")
+    p_sim.add_argument("--allow-misses", action="store_true",
+                       help="record deadline misses instead of aborting")
     p_sim.add_argument("--gantt", action="store_true",
                        help="print an ASCII Gantt strip")
     p_sim.set_defaults(func=_cmd_simulate)

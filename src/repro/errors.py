@@ -58,3 +58,21 @@ class PolicyError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration or run failed."""
+
+
+class SuiteExecutionError(ExperimentError):
+    """One simulation inside an experiment suite failed.
+
+    Carries the workload context (policy name, task-set seed, horizon)
+    so a failing cell deep inside a long sweep can be reproduced with a
+    single ad-hoc run instead of re-running the whole experiment.  The
+    original failure is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, *, policy: str | None = None,
+                 workload_seed: int | None = None,
+                 horizon: float | None = None) -> None:
+        super().__init__(message)
+        self.policy = policy
+        self.workload_seed = workload_seed
+        self.horizon = horizon

@@ -4,19 +4,29 @@ Every experiment in :mod:`repro.experiments.figures` reduces to the
 same inner loop — generate (or load) a task set, run the same seeded
 workload under every policy, normalise to the no-DVS baseline, and
 aggregate across task sets.  That loop lives here.
+
+Long sweeps are additionally *robust*: :func:`sweep` can checkpoint
+each completed cell to disk (atomically), retry transiently failing
+cells with exponential backoff, and resume a killed sweep from its
+checkpoints — producing results identical to an uninterrupted run,
+because every cell is a pure function of its seeds.
 """
 
 from __future__ import annotations
 
+import json
+import time as _time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.cpu.processor import Processor
 from repro.cpu.profiles import ideal_processor
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SuiteExecutionError
 from repro.experiments.config import EXPERIMENT_PERIOD_CHOICES
+from repro.faults import FaultPlan
 from repro.policies.base import DvsPolicy
 from repro.policies.registry import make_policy
 from repro.sim.engine import simulate
@@ -34,11 +44,20 @@ class SuiteResult:
     results: dict[str, SimulationResult]
     baseline: SimulationResult
 
+    def _lookup(self, policy: str) -> SimulationResult:
+        try:
+            return self.results[policy]
+        except KeyError:
+            known = ", ".join(sorted(self.results))
+            raise ExperimentError(
+                f"no results for policy {policy!r}; suite ran: {known}"
+            ) from None
+
     def normalized(self, policy: str) -> float:
-        return self.results[policy].normalized_energy(self.baseline)
+        return self._lookup(policy).normalized_energy(self.baseline)
 
     def miss_count(self, policy: str) -> int:
-        return len(self.results[policy].deadline_misses)
+        return len(self._lookup(policy).deadline_misses)
 
 
 def run_suite(
@@ -51,21 +70,39 @@ def run_suite(
     overhead_aware: bool = False,
     allow_misses: bool = False,
     policy_factory: Callable[[str], DvsPolicy] | None = None,
+    faults: FaultPlan | None = None,
+    workload_seed: int | None = None,
 ) -> SuiteResult:
-    """Run one workload under every policy (plus the no-DVS baseline)."""
+    """Run one workload under every policy (plus the no-DVS baseline).
+
+    Any failure inside :func:`~repro.sim.engine.simulate` is re-raised
+    as :class:`~repro.errors.SuiteExecutionError` carrying the policy
+    name, the workload seed and the horizon, so one bad cell in a long
+    sweep names its own reproduction instead of surfacing a bare
+    engine exception with no context.
+    """
     factory = policy_factory or (
         lambda name: make_policy(name, overhead_aware=overhead_aware))
+
+    def run_one(name: str, policy: DvsPolicy) -> SimulationResult:
+        try:
+            return simulate(taskset, processor, policy,
+                            execution_model, horizon=horizon,
+                            allow_misses=allow_misses, faults=faults)
+        except Exception as exc:
+            raise SuiteExecutionError(
+                f"policy {name!r} failed on workload seed={workload_seed} "
+                f"horizon={horizon:g}: {exc}",
+                policy=name, workload_seed=workload_seed,
+                horizon=float(horizon)) from exc
+
     results: dict[str, SimulationResult] = {}
-    baseline = simulate(taskset, processor, make_policy("none"),
-                        execution_model, horizon=horizon,
-                        allow_misses=allow_misses)
+    baseline = run_one("none", make_policy("none"))
     results["none"] = baseline
     for name in policy_names:
         if name == "none":
             continue
-        results[name] = simulate(taskset, processor, factory(name),
-                                 execution_model, horizon=horizon,
-                                 allow_misses=allow_misses)
+        results[name] = run_one(name, factory(name))
     return SuiteResult(results=results, baseline=baseline)
 
 
@@ -77,6 +114,10 @@ class SweepCell:
     normalized: dict[str, list[float]] = field(default_factory=dict)
     misses: dict[str, int] = field(default_factory=dict)
     switches: dict[str, list[int]] = field(default_factory=dict)
+    overruns: dict[str, int] = field(default_factory=dict)
+    interventions: dict[str, int] = field(default_factory=dict)
+    dispatches: dict[str, int] = field(default_factory=dict)
+    released: dict[str, int] = field(default_factory=dict)
 
     def record(self, suite: SuiteResult) -> None:
         for name, result in suite.results.items():
@@ -85,6 +126,51 @@ class SweepCell:
             self.misses[name] = (self.misses.get(name, 0)
                                  + len(result.deadline_misses))
             self.switches.setdefault(name, []).append(result.switch_count)
+            self.overruns[name] = (self.overruns.get(name, 0)
+                                   + result.overrun_jobs)
+            self.released[name] = (self.released.get(name, 0)
+                                   + result.jobs_released)
+            metrics = result.policy_metrics
+            self.interventions[name] = (
+                self.interventions.get(name, 0)
+                + int(metrics.get("interventions", 0)))
+            self.dispatches[name] = (
+                self.dispatches.get(name, 0)
+                + int(metrics.get("dispatches", 0)))
+
+    # -- checkpoint (de)serialisation ----------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "x": self.x,
+            "normalized": self.normalized,
+            "misses": self.misses,
+            "switches": self.switches,
+            "overruns": self.overruns,
+            "interventions": self.interventions,
+            "dispatches": self.dispatches,
+            "released": self.released,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SweepCell":
+        return cls(
+            x=float(payload["x"]),
+            normalized={k: [float(v) for v in vs]
+                        for k, vs in payload["normalized"].items()},
+            misses={k: int(v) for k, v in payload["misses"].items()},
+            switches={k: [int(v) for v in vs]
+                      for k, vs in payload["switches"].items()},
+            overruns={k: int(v)
+                      for k, v in payload.get("overruns", {}).items()},
+            interventions={k: int(v)
+                           for k, v in payload.get("interventions",
+                                                   {}).items()},
+            dispatches={k: int(v)
+                        for k, v in payload.get("dispatches", {}).items()},
+            released={k: int(v)
+                      for k, v in payload.get("released", {}).items()},
+        )
 
 
 def taskset_seeds(master_seed: int, count: int) -> list[int]:
@@ -100,6 +186,58 @@ def standard_taskset(n_tasks: int, utilization: float, seed: int) -> TaskSet:
         period_choices=EXPERIMENT_PERIOD_CHOICES)
 
 
+class SweepCheckpointer:
+    """Atomic per-cell checkpoints for resumable sweeps.
+
+    One JSON file per cell, written to a temporary name and renamed
+    into place, so a kill mid-write never leaves a readable-but-corrupt
+    checkpoint.  A fingerprint of the sweep parameters is embedded in
+    every file; resuming against checkpoints from a *different* sweep
+    fails loudly instead of silently mixing results.
+    """
+
+    def __init__(self, directory: str | Path, fingerprint: dict,
+                 resume: bool) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = fingerprint
+        if not resume:
+            for stale in self.directory.glob("cell_*.json"):
+                stale.unlink()
+
+    def _path(self, index: int) -> Path:
+        return self.directory / f"cell_{index:04d}.json"
+
+    def load(self, index: int, x: float) -> SweepCell | None:
+        path = self._path(index)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None  # unreadable checkpoint: recompute the cell
+        if payload.get("fingerprint") != self.fingerprint:
+            raise ExperimentError(
+                f"checkpoint {path} belongs to a different sweep "
+                f"(fingerprint {payload.get('fingerprint')!r} != "
+                f"{self.fingerprint!r}); refusing to resume")
+        if abs(float(payload["cell"]["x"]) - x) > 1e-9:
+            raise ExperimentError(
+                f"checkpoint {path} is for x={payload['cell']['x']}, "
+                f"expected x={x}; refusing to resume")
+        return SweepCell.from_payload(payload["cell"])
+
+    def store(self, index: int, cell: SweepCell) -> None:
+        path = self._path(index)
+        tmp = path.with_suffix(".json.tmp")
+        # No sort_keys: the per-policy dicts keep their run order, so a
+        # resumed sweep renders policies in exactly the same order as
+        # the uninterrupted run.
+        tmp.write_text(json.dumps(
+            {"fingerprint": self.fingerprint, "cell": cell.to_payload()}))
+        tmp.replace(path)
+
+
 def sweep(
     xs: Sequence[float],
     make_workload: Callable[[float, int], tuple[TaskSet, ExecutionModel]],
@@ -111,6 +249,12 @@ def sweep(
     processor_factory: Callable[[float], Processor] | None = None,
     overhead_aware: bool = False,
     allow_misses: bool = False,
+    policy_factory: Callable[[float], Callable[[str], DvsPolicy]] | None = None,
+    faults_factory: Callable[[float, int], FaultPlan | None] | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    max_retries: int = 0,
+    retry_backoff: float = 0.25,
 ) -> list[SweepCell]:
     """The generic experiment sweep.
 
@@ -118,22 +262,78 @@ def sweep(
     (task set, execution model) pair; the same pair runs under every
     policy; aggregation across ``n_tasksets`` seeds fills one
     :class:`SweepCell`.  *processor_factory* may vary the processor
-    with ``x`` (used by the discrete-levels and overhead figures).
+    with ``x`` (used by the discrete-levels and overhead figures);
+    *policy_factory(x)* may vary how policies are instantiated with
+    ``x`` (used by the fault matrix to set the governor margin);
+    *faults_factory(x, seed)* injects a per-cell fault plan.
+
+    With *checkpoint_dir* set, every completed cell is persisted
+    atomically; ``resume=True`` loads existing checkpoints and skips
+    their cells, so a killed sweep continues where it stopped and —
+    cells being pure functions of their seeds — produces results
+    identical to an uninterrupted run.  Cells that fail are retried up
+    to *max_retries* times with exponential backoff before the failure
+    propagates.
     """
     if not xs:
         raise ExperimentError("sweep needs at least one x value")
-    cells = []
-    for x in xs:
+    if max_retries < 0:
+        raise ExperimentError(
+            f"max_retries must be >= 0, got {max_retries}")
+    checkpointer = None
+    if checkpoint_dir is not None:
+        fingerprint = {
+            "xs": [float(x) for x in xs],
+            "policies": list(policy_names),
+            "n_tasksets": n_tasksets,
+            "master_seed": master_seed,
+            "horizon": float(horizon),
+        }
+        checkpointer = SweepCheckpointer(checkpoint_dir, fingerprint,
+                                         resume=resume)
+
+    def compute_cell(index: int, x: float) -> SweepCell:
         cell = SweepCell(x=float(x))
         for seed in taskset_seeds(master_seed, n_tasksets):
             taskset, model = make_workload(float(x), seed)
             processor = (processor_factory(float(x))
                          if processor_factory else ideal_processor())
-            suite = run_suite(taskset, policy_names, processor, model,
-                              horizon=horizon,
-                              overhead_aware=overhead_aware,
-                              allow_misses=allow_misses)
+            suite = run_suite(
+                taskset, policy_names, processor, model,
+                horizon=horizon,
+                overhead_aware=overhead_aware,
+                allow_misses=allow_misses,
+                policy_factory=(policy_factory(float(x))
+                                if policy_factory else None),
+                faults=(faults_factory(float(x), seed)
+                        if faults_factory else None),
+                workload_seed=seed)
             cell.record(suite)
+        return cell
+
+    cells = []
+    for index, x in enumerate(xs):
+        if checkpointer is not None:
+            cached = checkpointer.load(index, float(x))
+            if cached is not None:
+                cells.append(cached)
+                continue
+        attempt = 0
+        while True:
+            try:
+                cell = compute_cell(index, float(x))
+                break
+            except Exception:
+                # Deterministic failures fail identically on retry and
+                # then propagate; the retries exist for transient ones
+                # (I/O hiccups in workload loading, OOM kills of child
+                # work) that a backoff genuinely cures.
+                if attempt >= max_retries:
+                    raise
+                _time.sleep(retry_backoff * (2.0 ** attempt))
+                attempt += 1
+        if checkpointer is not None:
+            checkpointer.store(index, cell)
         cells.append(cell)
     return cells
 

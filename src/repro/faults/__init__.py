@@ -1,0 +1,35 @@
+"""Deterministic fault injection for adversarial-scenario testing.
+
+The paper's guarantee — slack-reclaiming DVS never misses a hard
+deadline — is only worth anything if it survives workloads that
+misbehave.  This package provides the adversary: seeded, composable
+fault injectors for WCET overruns, arrival jitter/bursts, release-clock
+drift and DVS transition faults, declared per run via a
+:class:`FaultPlan` and wired through :class:`repro.sim.engine.Simulator`
+(``faults=`` argument).  The :class:`repro.policies.governor.SafetyGovernor`
+is the countermeasure: it clamps any policy's speed to a slack-based
+feasibility floor so injected faults degrade energy, never deadlines.
+"""
+
+from repro.faults.injectors import FaultyArrival, FaultyExecution
+from repro.faults.plan import (
+    ArrivalFault,
+    ClockDriftFault,
+    FaultPlan,
+    OverrunFault,
+    TransitionFault,
+    TransitionOutcome,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "ArrivalFault",
+    "ClockDriftFault",
+    "FaultPlan",
+    "FaultyArrival",
+    "FaultyExecution",
+    "OverrunFault",
+    "TransitionFault",
+    "TransitionOutcome",
+    "parse_fault_plan",
+]

@@ -1,0 +1,357 @@
+"""Declarative fault plans: what goes wrong, when, deterministically.
+
+A :class:`FaultPlan` bundles up to four independent fault classes —
+WCET overruns, arrival perturbations (jitter / bursts), release-clock
+drift, and DVS transition faults — behind one seeded configuration
+object.  Every stochastic decision is derived from a stable hash of
+``(seed, salt, key, index)`` (the same counter-based scheme the
+execution models use), so two runs under the same plan produce
+byte-identical traces regardless of query order, and ``faults=None``
+leaves the engine bit-identical to the fault-free code path.
+
+Plans are constructed either directly from the dataclasses below or
+parsed from the compact CLI grammar understood by
+:func:`parse_fault_plan`::
+
+    overrun:1.5            every job demands 1.5x its WCET
+    overrun:1.5:0.3        ... with probability 0.3 per job
+    jitter:0.2             release gaps stretch by up to 0.2x the period
+    burst:0.25:6           blocks of 6 jobs compress to min separation
+    drift:0.01             the release clock runs 1% slow
+    stuck:0.2              20% of speed switches fail and hold
+    delay:0.05             every switch takes 0.05 extra time units
+    quantize:0.1           achieved speeds round up to a 0.1 grid
+
+Multiple clauses combine with commas: ``overrun:1.4,stuck:0.1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tasks.execution import _job_rng
+from repro.types import Speed, Time
+
+#: Salts keeping the fault streams independent of the workload streams.
+_OVERRUN_SALT = 0x0FA1
+_BURST_SALT = 0x0FA2
+_JITTER_SALT = 0x0FA3
+_STUCK_SALT = 0x0FA4
+
+
+def _ceil_to_grid(value: float, step: float) -> float:
+    """Round *value* up to a multiple of *step*, forgiving float dust."""
+    quotient = value / step
+    nearest = round(quotient)
+    ticks = nearest if abs(quotient - nearest) <= 1e-9 else math.ceil(quotient)
+    return step * ticks
+
+
+@dataclass(frozen=True)
+class OverrunFault:
+    """Jobs exceed their declared WCET by a fixed factor.
+
+    A faulted job's actual demand becomes ``factor * C_i`` — strictly
+    more than the budget every online policy reasons about.  Whether a
+    given job is faulted is a seeded per-``(task, index)`` Bernoulli
+    draw with *probability*.
+    """
+
+    factor: float
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.factor <= 1.0:
+            raise ConfigurationError(
+                f"overrun factor must be > 1, got {self.factor}")
+        if not (0.0 < self.probability <= 1.0):
+            raise ConfigurationError(
+                f"overrun probability must be in (0, 1], got "
+                f"{self.probability}")
+
+    def describe(self) -> str:
+        return f"overrun(x{self.factor:g}, p={self.probability:g})"
+
+
+@dataclass(frozen=True)
+class ArrivalFault:
+    """Release-timeline perturbations layered on an arrival model.
+
+    ``jitter`` stretches each inter-arrival gap by a uniform draw in
+    ``[0, jitter] * period`` (releases come late, never early — the
+    minimum separation contract survives).  ``burst_probability``
+    compresses whole blocks of ``burst_length`` consecutive jobs down
+    to the minimum separation, modelling sporadic bursts on top of a
+    slack-rich sporadic base.
+    """
+
+    jitter: float = 0.0
+    burst_probability: float = 0.0
+    burst_length: int = 4
+
+    def __post_init__(self) -> None:
+        if self.jitter < 0:
+            raise ConfigurationError(
+                f"jitter must be >= 0, got {self.jitter}")
+        if not (0.0 <= self.burst_probability <= 1.0):
+            raise ConfigurationError(
+                f"burst_probability must be in [0, 1], got "
+                f"{self.burst_probability}")
+        if self.burst_length < 1:
+            raise ConfigurationError(
+                f"burst_length must be >= 1, got {self.burst_length}")
+
+    def describe(self) -> str:
+        parts = []
+        if self.jitter > 0:
+            parts.append(f"jitter={self.jitter:g}")
+        if self.burst_probability > 0:
+            parts.append(f"burst={self.burst_probability:g}"
+                         f"x{self.burst_length}")
+        return f"arrival({', '.join(parts) or 'noop'})"
+
+
+@dataclass(frozen=True)
+class ClockDriftFault:
+    """The release clock runs slow: every gap stretches by ``1 + rate``.
+
+    Only non-negative drift is representable — a *fast* clock would
+    release jobs closer together than the declared minimum separation
+    and void every feasibility bound, so it is rejected up front rather
+    than silently breaking the hard-real-time contract.
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ConfigurationError(
+                f"drift rate must be >= 0 (a fast release clock would "
+                f"violate minimum separations), got {self.rate}")
+
+    def describe(self) -> str:
+        return f"drift(rate={self.rate:g})"
+
+
+@dataclass(frozen=True)
+class TransitionFault:
+    """DVS speed switches that misbehave.
+
+    ``stuck_probability``: the switch fails outright and the processor
+    holds its previous speed (no cost is paid — the request was simply
+    dropped).  ``extra_delay``: successful switches take this much
+    longer than the transition model says.  ``quantize_step``: the
+    achieved speed rounds *up* to the given grid (rounding up keeps the
+    fault on the safe side of every feasibility argument).
+    """
+
+    stuck_probability: float = 0.0
+    extra_delay: Time = 0.0
+    quantize_step: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.stuck_probability <= 1.0):
+            raise ConfigurationError(
+                f"stuck_probability must be in [0, 1], got "
+                f"{self.stuck_probability}")
+        if self.extra_delay < 0:
+            raise ConfigurationError(
+                f"extra_delay must be >= 0, got {self.extra_delay}")
+        if self.quantize_step < 0 or self.quantize_step > 1.0:
+            raise ConfigurationError(
+                f"quantize_step must be in [0, 1], got "
+                f"{self.quantize_step}")
+
+    def describe(self) -> str:
+        parts = []
+        if self.stuck_probability > 0:
+            parts.append(f"stuck={self.stuck_probability:g}")
+        if self.extra_delay > 0:
+            parts.append(f"delay={self.extra_delay:g}")
+        if self.quantize_step > 0:
+            parts.append(f"quantize={self.quantize_step:g}")
+        return f"transition({', '.join(parts) or 'noop'})"
+
+
+@dataclass(frozen=True)
+class TransitionOutcome:
+    """What one attempted speed switch actually did."""
+
+    achieved: Speed
+    extra_time: Time
+    faulted: bool
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One run's complete fault configuration.
+
+    All fields default to "no fault of this class"; an all-``None``
+    plan is behaviourally identical to ``faults=None`` (the engine
+    skips wrapping entirely in that case, so the fault-free path stays
+    byte-for-byte untouched).
+    """
+
+    seed: int = 0
+    overrun: OverrunFault | None = None
+    arrival: ArrivalFault | None = None
+    drift: ClockDriftFault | None = None
+    transition: TransitionFault | None = None
+
+    @property
+    def affects_execution(self) -> bool:
+        return self.overrun is not None
+
+    @property
+    def affects_arrivals(self) -> bool:
+        return self.arrival is not None or self.drift is not None
+
+    @property
+    def affects_transitions(self) -> bool:
+        return self.transition is not None
+
+    # -- per-decision seeded draws -------------------------------------
+
+    def overrun_factor(self, task_name: str, index: int) -> float:
+        """Demand multiplier for one job (1.0 when not faulted)."""
+        if self.overrun is None:
+            return 1.0
+        if self.overrun.probability < 1.0:
+            draw = float(_job_rng(self.seed ^ _OVERRUN_SALT,
+                                  task_name, index).random())
+            if draw >= self.overrun.probability:
+                return 1.0
+        return self.overrun.factor
+
+    def in_burst(self, task_name: str, index: int) -> bool:
+        """Whether the job falls inside a compressed burst block."""
+        arrival = self.arrival
+        if arrival is None or arrival.burst_probability <= 0.0:
+            return False
+        block = index // arrival.burst_length
+        draw = float(_job_rng(self.seed ^ _BURST_SALT,
+                              task_name, block).random())
+        return draw < arrival.burst_probability
+
+    def jitter_stretch(self, task_name: str, index: int) -> float:
+        """Extra gap as a fraction of the period, in ``[0, jitter]``."""
+        arrival = self.arrival
+        if arrival is None or arrival.jitter <= 0.0:
+            return 0.0
+        draw = float(_job_rng(self.seed ^ _JITTER_SALT,
+                              task_name, index).random())
+        return arrival.jitter * draw
+
+    def transition_outcome(self, switch_index: int, current: Speed,
+                           target: Speed) -> TransitionOutcome:
+        """Resolve the *switch_index*-th attempted switch under faults."""
+        fault = self.transition
+        if fault is None:
+            return TransitionOutcome(achieved=target, extra_time=0.0,
+                                     faulted=False)
+        if fault.stuck_probability > 0.0:
+            draw = float(_job_rng(self.seed ^ _STUCK_SALT, "switch",
+                                  switch_index).random())
+            if draw < fault.stuck_probability:
+                return TransitionOutcome(achieved=current, extra_time=0.0,
+                                         faulted=True)
+        achieved = target
+        quantized = False
+        if fault.quantize_step > 0.0:
+            snapped = min(1.0, _ceil_to_grid(target, fault.quantize_step))
+            quantized = snapped > target + 1e-12
+            achieved = snapped
+        return TransitionOutcome(achieved=achieved,
+                                 extra_time=fault.extra_delay,
+                                 faulted=quantized or fault.extra_delay > 0)
+
+    def describe(self) -> str:
+        parts = [component.describe()
+                 for component in (self.overrun, self.arrival, self.drift,
+                                   self.transition)
+                 if component is not None]
+        return (f"faults(seed={self.seed}; {'; '.join(parts)})"
+                if parts else "faults(none)")
+
+
+def parse_fault_plan(spec: str, seed: int = 0) -> FaultPlan:
+    """Parse the CLI grammar (see module docstring) into a plan."""
+    overrun: OverrunFault | None = None
+    jitter = 0.0
+    burst_probability = 0.0
+    burst_length = 4
+    drift: ClockDriftFault | None = None
+    stuck = 0.0
+    delay = 0.0
+    quantize = 0.0
+    seen_arrival = False
+
+    for raw_clause in spec.split(","):
+        clause = raw_clause.strip()
+        if not clause:
+            continue
+        kind, _, tail = clause.partition(":")
+        args = [a for a in tail.split(":") if a] if tail else []
+        try:
+            values = [float(a) for a in args]
+        except ValueError:
+            raise ConfigurationError(
+                f"fault clause {clause!r}: arguments must be numeric")
+        if kind == "overrun":
+            if not 1 <= len(values) <= 2:
+                raise ConfigurationError(
+                    f"overrun takes factor[:probability], got {clause!r}")
+            overrun = OverrunFault(
+                factor=values[0],
+                probability=values[1] if len(values) == 2 else 1.0)
+        elif kind == "jitter":
+            if len(values) != 1:
+                raise ConfigurationError(
+                    f"jitter takes one amount, got {clause!r}")
+            jitter = values[0]
+            seen_arrival = True
+        elif kind == "burst":
+            if not 1 <= len(values) <= 2:
+                raise ConfigurationError(
+                    f"burst takes probability[:length], got {clause!r}")
+            burst_probability = values[0]
+            if len(values) == 2:
+                burst_length = int(values[1])
+            seen_arrival = True
+        elif kind == "drift":
+            if len(values) != 1:
+                raise ConfigurationError(
+                    f"drift takes one rate, got {clause!r}")
+            drift = ClockDriftFault(rate=values[0])
+        elif kind == "stuck":
+            if len(values) != 1:
+                raise ConfigurationError(
+                    f"stuck takes one probability, got {clause!r}")
+            stuck = values[0]
+        elif kind == "delay":
+            if len(values) != 1:
+                raise ConfigurationError(
+                    f"delay takes one duration, got {clause!r}")
+            delay = values[0]
+        elif kind == "quantize":
+            if len(values) != 1:
+                raise ConfigurationError(
+                    f"quantize takes one step, got {clause!r}")
+            quantize = values[0]
+        else:
+            raise ConfigurationError(
+                f"unknown fault kind {kind!r}; known: overrun, jitter, "
+                f"burst, drift, stuck, delay, quantize")
+
+    arrival = (ArrivalFault(jitter=jitter,
+                            burst_probability=burst_probability,
+                            burst_length=burst_length)
+               if seen_arrival else None)
+    transition = (TransitionFault(stuck_probability=stuck,
+                                  extra_delay=delay,
+                                  quantize_step=quantize)
+                  if (stuck or delay or quantize) else None)
+    return FaultPlan(seed=seed, overrun=overrun, arrival=arrival,
+                     drift=drift, transition=transition)

@@ -9,6 +9,7 @@ from repro.policies.lpps_edf import LppsEdfPolicy
 from repro.policies.critical_speed import CriticalSpeedPolicy
 from repro.policies.dra import DraPolicy
 from repro.policies.feedback import FeedbackDvsPolicy
+from repro.policies.governor import SafetyGovernor
 from repro.policies.lpfps_rm import LpfpsRmPolicy
 from repro.policies.slack_sta import LpStaPolicy
 from repro.policies.slack_seh import LpSehPolicy
@@ -39,6 +40,7 @@ __all__ = [
     "CriticalSpeedPolicy",
     "FeedbackDvsPolicy",
     "LpfpsRmPolicy",
+    "SafetyGovernor",
     "LpStaPolicy",
     "LpSehPolicy",
     "ClairvoyantPolicy",

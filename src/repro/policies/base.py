@@ -59,6 +59,15 @@ class DvsPolicy(ABC):
         level, so policies may return ideal continuous speeds.
         """
 
+    def metrics(self) -> dict[str, float]:
+        """Per-run policy-internal counters, folded into the result.
+
+        The engine copies this into ``SimulationResult.policy_metrics``
+        after every run, so wrappers (e.g. the safety governor) can
+        report intervention counts without a side channel.
+        """
+        return {}
+
     @property
     def min_speed(self) -> Speed:
         """The bound processor's lowest speed (1.0 before binding)."""

@@ -14,6 +14,7 @@ from repro.policies.clairvoyant import ClairvoyantPolicy
 from repro.policies.critical_speed import CriticalSpeedPolicy
 from repro.policies.dra import DraPolicy
 from repro.policies.feedback import FeedbackDvsPolicy
+from repro.policies.governor import SafetyGovernor
 from repro.policies.laedf import LaEdfPolicy
 from repro.policies.lpps_edf import LppsEdfPolicy
 from repro.policies.none import NoDvsPolicy
@@ -48,13 +49,19 @@ ALL_POLICY_NAMES: tuple[str, ...] = tuple(POLICY_FACTORIES)
 def make_policy(name: str, *, overhead_aware: bool = False,
                 reserve_factor: float = 2.0,
                 hysteresis: float = 0.0,
-                critical_speed_floor: bool = False) -> DvsPolicy:
+                critical_speed_floor: bool = False,
+                governed: bool = False,
+                governor_margin: float = 1.0) -> DvsPolicy:
     """Instantiate a policy by registry name.
 
     ``overhead_aware=True`` wraps the policy so it stays safe and
     profitable under non-zero transition costs;
     ``critical_speed_floor=True`` additionally clamps speeds to the
-    processor's leakage-aware critical speed (applied innermost).
+    processor's leakage-aware critical speed (applied innermost);
+    ``governed=True`` wraps the result (outermost) in a
+    :class:`~repro.policies.governor.SafetyGovernor` with
+    ``margin=governor_margin`` so even faulted workloads cannot miss
+    deadlines the provisioned margin covers.
     """
     try:
         factory = POLICY_FACTORIES[name]
@@ -67,4 +74,6 @@ def make_policy(name: str, *, overhead_aware: bool = False,
     if overhead_aware:
         policy = OverheadAwarePolicy(policy, reserve_factor=reserve_factor,
                                      hysteresis=hysteresis)
+    if governed:
+        policy = SafetyGovernor(policy, margin=governor_margin)
     return policy

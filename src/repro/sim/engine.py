@@ -26,6 +26,7 @@ from repro.errors import (
     PolicyError,
     SimulationError,
 )
+from repro.faults import FaultPlan, FaultyArrival, FaultyExecution
 from repro.sim.results import DeadlineMiss, SimulationResult, TaskStats
 from repro.sim.scheduler import EDFScheduler, Scheduler
 from repro.sim.tracing import TraceRecorder
@@ -114,6 +115,14 @@ class SimContext:
         """Index of the task's next (not yet released) job."""
         return self._engine._next_index[task_name]
 
+    def note(self, kind: str, detail: str) -> None:
+        """Pin an annotation to the trace at the current time.
+
+        Used by wrapper policies (the safety governor) to make their
+        interventions auditable; a no-op when tracing is disabled.
+        """
+        self._engine._trace.note(self._engine._now, kind, detail)
+
     @property
     def execution_model(self) -> ExecutionModel:
         """The workload oracle — only clairvoyant policies may use it."""
@@ -165,6 +174,7 @@ class Simulator:
         record_trace: bool = False,
         allow_misses: bool = False,
         check_feasibility: bool = True,
+        faults: FaultPlan | None = None,
     ) -> None:
         if check_feasibility:
             taskset.assert_feasible_edf()
@@ -173,6 +183,16 @@ class Simulator:
         self.policy = policy
         self.execution_model = execution_model or WorstCaseExecution()
         self.arrival_model = arrival_model or PeriodicArrival()
+        self.faults = faults
+        if faults is not None:
+            # Wrap rather than branch inside the hot loop: with
+            # faults=None the fault-free path stays byte-identical.
+            if faults.affects_execution:
+                self.execution_model = FaultyExecution(
+                    self.execution_model, faults)
+            if faults.affects_arrivals:
+                self.arrival_model = FaultyArrival(
+                    self.arrival_model, faults)
         self.idle_policy = idle_policy
         self.scheduler = scheduler or EDFScheduler()
         self.horizon = horizon if horizon is not None else taskset.default_horizon()
@@ -215,6 +235,7 @@ class Simulator:
             self._dispatch(job)
 
         self._final_miss_check()
+        result.policy_metrics = dict(self.policy.metrics())
         result.trace = self._trace if self.record_trace else None
         return result
 
@@ -228,6 +249,7 @@ class Simulator:
         self._missed_jobs = set()
         self._last_running = None
         self._current_speed = 1.0
+        self._switch_attempts = 0
         self._next_release = {
             t.name: self.arrival_model.arrival_time(t, 0)
             for t in self.taskset}
@@ -264,7 +286,13 @@ class Simulator:
                 index = self._next_index[task.name]
                 release = self._next_release[task.name]
                 work = self.execution_model.work(task, index)
-                job = Job.from_task(task, index, work, release=release)
+                job = Job.from_task(task, index, work, release=release,
+                                    allow_overrun=self.faults is not None)
+                if job.overrun:
+                    self._result.overrun_jobs += 1
+                    self._trace.note(
+                        self._now, "overrun",
+                        f"{job.name}: work {work:g} > wcet {task.wcet:g}")
                 self._active.append(job)
                 self._result.jobs_released += 1
                 self._result.task_stats[task.name].released += 1
@@ -350,7 +378,35 @@ class Simulator:
                 f"quantized speed {speed} outside (0, 1]")
         if abs(speed - self._current_speed) <= 1e-12:
             return self._current_speed
+        extra_dt = 0.0
+        if self.faults is not None and self.faults.affects_transitions:
+            outcome = self.faults.transition_outcome(
+                self._switch_attempts, self._current_speed, speed)
+            self._switch_attempts += 1
+            if outcome.faulted:
+                self._result.transition_faults += 1
+            if abs(outcome.achieved - self._current_speed) <= 1e-12:
+                # The switch failed outright: no cost, speed holds.
+                self._trace.note(self._now, "transition-fault",
+                                 f"stuck at {self._current_speed:g} "
+                                 f"(wanted {speed:g})")
+                self._check_misses()
+                return self._current_speed
+            if abs(outcome.achieved - speed) > 1e-12:
+                self._trace.note(self._now, "transition-fault",
+                                 f"quantized {speed:g} -> "
+                                 f"{outcome.achieved:g}")
+            # Re-snap to the processor grid: the faulty quantizer may
+            # land between attainable levels.  quantize() rounds up, so
+            # the achieved speed never drops below the request.
+            speed = self.processor.quantize(min(1.0, outcome.achieved))
+            extra_dt = outcome.extra_time
+            if abs(speed - self._current_speed) <= 1e-12:
+                # Faulty quantization landed back on the current level.
+                self._check_misses()
+                return self._current_speed
         dt, de = self.processor.transition(self._current_speed, speed)
+        dt += extra_dt
         self._result.switch_count += 1
         self._result.switch_energy += de
         if dt > 0:

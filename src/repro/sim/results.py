@@ -61,9 +61,12 @@ class SimulationResult:
     sleep_time: Time = 0.0
     jobs_released: int = 0
     jobs_completed: int = 0
+    overrun_jobs: int = 0
+    transition_faults: int = 0
     deadline_misses: list[DeadlineMiss] = field(default_factory=list)
     task_stats: dict[str, TaskStats] = field(default_factory=dict)
     speed_time: dict[float, Time] = field(default_factory=dict)
+    policy_metrics: dict[str, float] = field(default_factory=dict)
     trace: TraceRecorder | None = None
 
     @property
@@ -108,4 +111,11 @@ class SimulationResult:
             f"  switches={self.switch_count}, "
             f"mean busy speed={self.mean_speed():.4f}",
         ]
+        if self.overrun_jobs or self.transition_faults:
+            lines.append(f"  faults: overrun_jobs={self.overrun_jobs}, "
+                         f"transition_faults={self.transition_faults}")
+        if self.policy_metrics:
+            rendered = ", ".join(f"{k}={v:g}"
+                                 for k, v in sorted(self.policy_metrics.items()))
+            lines.append(f"  policy metrics: {rendered}")
         return "\n".join(lines)

@@ -27,6 +27,21 @@ class SegmentKind(Enum):
 
 
 @dataclass(frozen=True)
+class TraceNote:
+    """A zero-duration annotation pinned to one instant of the trace.
+
+    Notes carry events that are not processor activity — governor
+    interventions, injected transition faults, detected overruns — so
+    they live beside the segment sequence rather than inside it and do
+    not participate in the gap-free-coverage invariant.
+    """
+
+    time: Time
+    kind: str
+    detail: str
+
+
+@dataclass(frozen=True)
 class Segment:
     """One homogeneous stretch of processor activity."""
 
@@ -54,6 +69,7 @@ class TraceRecorder:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._segments: list[Segment] = []
+        self._notes: list[TraceNote] = []
 
     def __len__(self) -> int:
         return len(self._segments)
@@ -64,6 +80,19 @@ class TraceRecorder:
     @property
     def segments(self) -> tuple[Segment, ...]:
         return tuple(self._segments)
+
+    @property
+    def notes(self) -> tuple[TraceNote, ...]:
+        return tuple(self._notes)
+
+    def note(self, time: Time, kind: str, detail: str) -> None:
+        """Record an instantaneous annotation (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._notes.append(TraceNote(time=time, kind=kind, detail=detail))
+
+    def notes_of_kind(self, kind: str) -> tuple[TraceNote, ...]:
+        return tuple(n for n in self._notes if n.kind == kind)
 
     def record(self, segment: Segment) -> None:
         """Append a segment (no-op when disabled; merges contiguous twins)."""

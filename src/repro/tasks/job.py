@@ -34,14 +34,17 @@ class Job:
 
     @classmethod
     def from_task(cls, task: PeriodicTask, index: int, work: Work,
-                  release: Time | None = None) -> "Job":
+                  release: Time | None = None, *,
+                  allow_overrun: bool = False) -> "Job":
         """Build the *index*-th job of *task* with actual demand *work*.
 
         *release* overrides the strictly periodic release time (used by
         sporadic arrival processes); the absolute deadline is always
-        ``release + task.deadline``.
+        ``release + task.deadline``.  ``allow_overrun=True`` admits
+        demand beyond the WCET — only the fault-injection layer may do
+        this; everywhere else ``work <= wcet`` stays a hard invariant.
         """
-        if work <= 0 or work > task.wcet + TIME_EPS:
+        if work <= 0 or (not allow_overrun and work > task.wcet + TIME_EPS):
             raise SimulationError(
                 f"job {task.name}#{index}: actual work {work} outside "
                 f"(0, wcet={task.wcet}]")
@@ -52,8 +55,13 @@ class Job:
             index=index,
             release=release,
             deadline=release + task.deadline,
-            work=min(work, task.wcet),
+            work=work if allow_overrun else min(work, task.wcet),
         )
+
+    @property
+    def overrun(self) -> bool:
+        """``True`` when the actual demand exceeds the WCET budget."""
+        return self.work > self.task.wcet + TIME_EPS
 
     @property
     def name(self) -> str:
@@ -70,10 +78,12 @@ class Job:
         """Worst-case budget still outstanding — what online policies see.
 
         This is ``wcet - executed`` clamped at zero: once a job has
-        executed for longer than its WCET budget predicted (impossible
-        here because ``work <= wcet``) the budget is exhausted.
+        executed for longer than its WCET budget predicted (possible
+        only under fault-injected overruns, where ``work > wcet``) the
+        budget is simply exhausted — online analyses keep seeing a
+        consistent non-negative budget either way.
         """
-        return snap_nonnegative(self.task.wcet - self.executed)
+        return max(0.0, snap_nonnegative(self.task.wcet - self.executed))
 
     @property
     def completed(self) -> bool:

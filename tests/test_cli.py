@@ -61,6 +61,63 @@ class TestSimulate:
         assert "misses=0" in capsys.readouterr().out
 
 
+@pytest.mark.faults
+class TestFaultsAndGovernor:
+    """CLI surface of the fault-injection subsystem (tier-1 smoke)."""
+
+    def test_simulate_with_faults_and_governor(self, capsys):
+        assert main(["simulate", "--policy", "ccEDF",
+                     "--tasks", "4", "--utilization", "0.55",
+                     "--faults", "overrun:1.5", "--governed",
+                     "--allow-misses", "--horizon", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "faults(seed=" in out and "overrun" in out
+        assert "policy=gov(ccEDF)" in out
+        assert "misses=0" in out
+
+    def test_simulate_raw_faults_report_overruns(self, capsys):
+        assert main(["simulate", "--policy", "lpSTA",
+                     "--tasks", "4", "--utilization", "0.55",
+                     "--faults", "overrun:1.4,stuck:0.2",
+                     "--allow-misses", "--horizon", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "overrun_jobs=" in out
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        assert main(["simulate", "--faults", "overrun:0.5",
+                     "--horizon", "200"]) == 2
+        assert "bad --faults spec" in capsys.readouterr().err
+
+    def test_fault_matrix_quick_smoke(self, capsys):
+        assert main(["run", "faultmatrix", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-FM1" in out
+        assert "governed misses: 0" in out
+
+    def test_fault_matrix_checkpoint_and_resume(self, capsys, tmp_path):
+        assert main(["run", "faultmatrix", "--quick",
+                     "--checkpoint-dir", str(tmp_path)]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "faultmatrix", "--quick",
+                     "--checkpoint-dir", str(tmp_path),
+                     "--resume"]) == 0
+        second = capsys.readouterr().out
+        # Identical tables; only the timing line may differ.
+        strip = lambda s: [l for l in s.splitlines() if "(" not in l]
+        assert strip(first) == strip(second)
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["run", "faultmatrix", "--quick", "--resume"]) == 2
+        assert "--resume requires" in capsys.readouterr().err
+
+    def test_unsupported_checkpoint_option_warns(self, capsys, tmp_path):
+        # fig6's driver takes no checkpoint options; the CLI must say
+        # so instead of silently dropping them.
+        assert main(["run", "fig6", "--quick",
+                     "--checkpoint-dir", str(tmp_path)]) == 0
+        assert "does not support" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -126,7 +126,8 @@ class TestFigureDrivers:
             assert static <= greedy + 0.02
 
     def test_figures_registry_complete(self):
-        assert set(FIGURES) == {f"fig{i}" for i in range(1, 13)}
+        expected = {f"fig{i}" for i in range(1, 13)} | {"faultmatrix"}
+        assert set(FIGURES) == expected
 
     def test_fig12_quick_shape(self):
         from repro.experiments.figures import multicore_scaling

@@ -1,0 +1,286 @@
+"""Tests for the fault-injection subsystem (:mod:`repro.faults`).
+
+Covers the fault-plan grammar and validation, the determinism contract
+(same plan seed => byte-identical traces), the golden regression that
+``faults=None`` leaves the seed engine untouched, and the semantics of
+each injector class.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu.profiles import ideal_processor
+from repro.errors import ConfigurationError
+from repro.faults import (
+    ArrivalFault,
+    ClockDriftFault,
+    FaultPlan,
+    FaultyArrival,
+    FaultyExecution,
+    OverrunFault,
+    TransitionFault,
+    parse_fault_plan,
+)
+from repro.policies.registry import make_policy
+from repro.sim.engine import simulate
+from repro.tasks.arrivals import PeriodicArrival, UniformJitterArrival
+from repro.tasks.execution import UniformExecution
+from repro.tasks.generators import generate_taskset
+
+pytestmark = pytest.mark.faults
+
+
+def _workload(seed=7, n=5, u=0.8):
+    taskset = generate_taskset(n, u, np.random.default_rng(seed))
+    model = UniformExecution(low=0.4, high=1.0, seed=11)
+    return taskset, model
+
+
+class TestFaultPlanParsing:
+    def test_single_overrun_clause(self):
+        plan = parse_fault_plan("overrun:1.5", seed=3)
+        assert plan.seed == 3
+        assert plan.overrun == OverrunFault(factor=1.5, probability=1.0)
+        assert plan.arrival is None and plan.transition is None
+
+    def test_combined_clauses(self):
+        plan = parse_fault_plan(
+            "overrun:1.4:0.3,jitter:0.2,burst:0.25:6,drift:0.01,"
+            "stuck:0.2,delay:0.05,quantize:0.1")
+        assert plan.overrun.probability == 0.3
+        assert plan.arrival.jitter == 0.2
+        assert plan.arrival.burst_probability == 0.25
+        assert plan.arrival.burst_length == 6
+        assert plan.drift.rate == 0.01
+        assert plan.transition.stuck_probability == 0.2
+        assert plan.transition.extra_delay == 0.05
+        assert plan.transition.quantize_step == 0.1
+
+    def test_describe_names_every_component(self):
+        plan = parse_fault_plan("overrun:1.5,jitter:0.1,stuck:0.2")
+        text = plan.describe()
+        assert "overrun" in text and "jitter" in text and "stuck" in text
+
+    @pytest.mark.parametrize("spec", [
+        "overrun:0.9",          # factor must exceed 1
+        "overrun:1.5:0",        # probability must be positive
+        "overrun:1.5:1.2",      # probability must be <= 1
+        "drift:-0.1",           # fast clocks void min separation
+        "stuck:1.5",            # probability range
+        "jitter:-1",            # negative jitter
+        "burst:0.5:0",          # burst length >= 1
+        "quantize:2",           # step must be <= 1
+        "overrun:abc",          # non-numeric
+        "gamma:1.0",            # unknown kind
+        "overrun",              # missing argument
+    ])
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_fault_plan(spec)
+
+    def test_affects_flags(self):
+        assert parse_fault_plan("overrun:1.5").affects_execution
+        assert parse_fault_plan("jitter:0.1").affects_arrivals
+        assert parse_fault_plan("drift:0.01").affects_arrivals
+        assert parse_fault_plan("delay:0.1").affects_transitions
+        empty = FaultPlan(seed=0)
+        assert not (empty.affects_execution or empty.affects_arrivals
+                    or empty.affects_transitions)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_traces(self):
+        plan = parse_fault_plan(
+            "overrun:1.3:0.5,jitter:0.2,stuck:0.1", seed=13)
+        runs = []
+        for _ in range(2):
+            taskset, model = _workload()
+            result = simulate(
+                taskset, ideal_processor(), make_policy("ccEDF"), model,
+                horizon=400.0, record_trace=True, allow_misses=True,
+                faults=plan)
+            runs.append(result)
+        first, second = runs
+        assert first.trace.segments == second.trace.segments
+        assert first.trace.notes == second.trace.notes
+        assert first.total_energy == second.total_energy
+        assert first.overrun_jobs == second.overrun_jobs
+        assert [(m.job, m.deadline, m.detected_at)
+                for m in first.deadline_misses] == \
+               [(m.job, m.deadline, m.detected_at)
+                for m in second.deadline_misses]
+
+    def test_different_seed_changes_draws(self):
+        a = FaultPlan(seed=1, overrun=OverrunFault(1.5, probability=0.5))
+        b = FaultPlan(seed=2, overrun=OverrunFault(1.5, probability=0.5))
+        draws_a = [a.overrun_factor("T1", i) for i in range(64)]
+        draws_b = [b.overrun_factor("T1", i) for i in range(64)]
+        assert draws_a != draws_b
+
+    def test_draws_are_order_independent(self):
+        plan = FaultPlan(seed=5, overrun=OverrunFault(1.5, probability=0.5))
+        forward = [plan.overrun_factor("T2", i) for i in range(32)]
+        backward = [plan.overrun_factor("T2", i)
+                    for i in reversed(range(32))]
+        assert forward == list(reversed(backward))
+
+
+class TestGoldenNoFaultRegression:
+    """``faults=None`` must leave the seed engine bit-identical.
+
+    The numbers below were captured from the engine *before* the fault
+    subsystem existed; any drift here means the faults=None path is no
+    longer byte-identical to the original code.
+    """
+
+    GOLDEN = {
+        "none": (313.9229381648887, 0, 53),
+        "static": (200.9106804255288, 1, 53),
+        "ccEDF": (145.5900156706814, 98, 52),
+        "lpSEH": (138.7590315565568, 95, 50),
+        "lpSTA": (138.73947703188136, 93, 50),
+    }
+
+    @pytest.mark.parametrize("policy", sorted(GOLDEN))
+    def test_energy_switches_and_jobs_unchanged(self, policy):
+        taskset, model = _workload()
+        result = simulate(taskset, ideal_processor(),
+                          make_policy(policy), model,
+                          horizon=400.0, faults=None)
+        energy, switches, completed = self.GOLDEN[policy]
+        assert result.total_energy == energy  # exact, not approx
+        assert result.switch_count == switches
+        assert result.jobs_completed == completed
+        assert result.overrun_jobs == 0
+        assert result.transition_faults == 0
+
+    def test_empty_plan_matches_no_plan(self):
+        taskset, model = _workload()
+        bare = simulate(taskset, ideal_processor(), make_policy("lpSTA"),
+                        model, horizon=400.0, faults=None)
+        empty = simulate(taskset, ideal_processor(), make_policy("lpSTA"),
+                         model, horizon=400.0, faults=FaultPlan(seed=9))
+        assert bare.total_energy == empty.total_energy
+        assert bare.switch_count == empty.switch_count
+
+
+class TestFaultyExecution:
+    def test_overrun_scales_wcet_not_sampled_work(self):
+        taskset, model = _workload()
+        plan = FaultPlan(seed=0, overrun=OverrunFault(factor=1.5))
+        faulty = FaultyExecution(model, plan)
+        for task in taskset:
+            assert faulty.work(task, 0) == pytest.approx(1.5 * task.wcet)
+            # The bc/wc ratio channel is untouched.
+            assert faulty.ratio(task, 3) == model.ratio(task, 3)
+
+    def test_probability_gates_injection(self):
+        taskset, model = _workload()
+        plan = FaultPlan(seed=4,
+                         overrun=OverrunFault(factor=1.5, probability=0.5))
+        faulty = FaultyExecution(model, plan)
+        task = list(taskset)[0]
+        outcomes = {faulty.work(task, i) > task.wcet for i in range(64)}
+        assert outcomes == {True, False}  # some faulted, some clean
+
+    def test_engine_counts_overrun_jobs(self):
+        taskset, model = _workload(u=0.5)
+        plan = FaultPlan(seed=0, overrun=OverrunFault(factor=1.2))
+        result = simulate(taskset, ideal_processor(), make_policy("none"),
+                          model, horizon=400.0, allow_misses=True,
+                          faults=plan)
+        assert result.overrun_jobs == result.jobs_released > 0
+
+
+class TestFaultyArrival:
+    @pytest.mark.parametrize("inner", [
+        PeriodicArrival(),
+        UniformJitterArrival(jitter=0.4, seed=3),
+    ])
+    def test_minimum_separation_survives_all_fault_stages(self, inner):
+        taskset, _ = _workload()
+        plan = FaultPlan(
+            seed=21,
+            arrival=ArrivalFault(jitter=0.3, burst_probability=0.5,
+                                 burst_length=3),
+            drift=ClockDriftFault(rate=0.02))
+        faulty = FaultyArrival(inner, plan)
+        for task in taskset:
+            for index in range(40):
+                assert faulty.gap(task, index) >= task.period - 1e-9
+
+    def test_burst_compresses_to_minimum_separation(self):
+        taskset, _ = _workload()
+        task = list(taskset)[0]
+        inner = UniformJitterArrival(jitter=0.5, seed=3)
+        plan = FaultPlan(seed=2,
+                         arrival=ArrivalFault(burst_probability=1.0,
+                                              burst_length=4))
+        faulty = FaultyArrival(inner, plan)
+        for index in range(12):
+            assert faulty.gap(task, index) == pytest.approx(task.period)
+
+    def test_drift_stretches_gaps(self):
+        taskset, _ = _workload()
+        task = list(taskset)[0]
+        plan = FaultPlan(seed=0, drift=ClockDriftFault(rate=0.05))
+        faulty = FaultyArrival(PeriodicArrival(), plan)
+        assert faulty.gap(task, 0) == pytest.approx(1.05 * task.period)
+
+    def test_faulted_timeline_is_not_periodic(self):
+        plan = FaultPlan(seed=0, drift=ClockDriftFault(rate=0.0))
+        assert FaultyArrival(PeriodicArrival(), plan).is_periodic is False
+
+
+class TestTransitionFaults:
+    def test_stuck_switch_holds_current_speed(self):
+        plan = FaultPlan(seed=0,
+                         transition=TransitionFault(stuck_probability=1.0))
+        outcome = plan.transition_outcome(0, current=1.0, target=0.5)
+        assert outcome.faulted
+        assert outcome.achieved == 1.0
+        assert outcome.extra_time == 0.0
+
+    def test_delay_and_quantize_compose(self):
+        plan = FaultPlan(seed=0,
+                         transition=TransitionFault(extra_delay=0.05,
+                                                    quantize_step=0.25))
+        outcome = plan.transition_outcome(0, current=1.0, target=0.6)
+        assert outcome.faulted
+        assert outcome.achieved == pytest.approx(0.75)  # ceil to grid
+        assert outcome.extra_time == pytest.approx(0.05)
+
+    def test_quantize_never_exceeds_full_speed(self):
+        plan = FaultPlan(seed=0,
+                         transition=TransitionFault(quantize_step=0.3))
+        outcome = plan.transition_outcome(0, current=0.5, target=0.95)
+        assert outcome.achieved <= 1.0
+
+    def test_on_grid_target_passes_through(self):
+        plan = FaultPlan(seed=0,
+                         transition=TransitionFault(quantize_step=0.25))
+        outcome = plan.transition_outcome(0, current=1.0, target=0.5)
+        assert outcome.achieved == pytest.approx(0.5)
+        assert not outcome.faulted
+
+    def test_engine_counts_transition_faults(self):
+        taskset, model = _workload()
+        plan = FaultPlan(seed=3,
+                         transition=TransitionFault(stuck_probability=0.5))
+        result = simulate(taskset, ideal_processor(), make_policy("ccEDF"),
+                          model, horizon=400.0, allow_misses=True,
+                          faults=plan)
+        assert result.transition_faults > 0
+
+    def test_stuck_everything_means_full_speed_energy(self):
+        taskset, model = _workload()
+        plan = FaultPlan(seed=0,
+                         transition=TransitionFault(stuck_probability=1.0))
+        stuck = simulate(taskset, ideal_processor(), make_policy("ccEDF"),
+                         model, horizon=400.0, faults=plan)
+        baseline = simulate(taskset, ideal_processor(), make_policy("none"),
+                            model, horizon=400.0)
+        # Every switch away from the initial full speed fails, so the
+        # DVS policy degenerates to the no-DVS baseline.
+        assert stuck.total_energy == pytest.approx(baseline.total_energy)
+        assert stuck.switch_count == 0

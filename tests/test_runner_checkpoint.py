@@ -1,0 +1,154 @@
+"""Tests for robust sweeps: checkpointing, resume, retries, and the
+error-context satellites on :class:`SuiteResult` / :func:`run_suite`.
+"""
+
+import json
+
+import pytest
+
+from repro.cpu.profiles import ideal_processor
+from repro.errors import ExperimentError, SuiteExecutionError
+from repro.experiments.runner import (
+    SuiteResult,
+    bcwc_model,
+    run_suite,
+    standard_taskset,
+    sweep,
+)
+from repro.faults import FaultPlan, OverrunFault
+from repro.sim.results import SimulationResult
+
+pytestmark = pytest.mark.faults
+
+XS = (0.4, 0.6)
+POLICIES = ("static", "ccEDF")
+HORIZON = 300.0
+
+
+def _workload(x, seed):
+    return standard_taskset(4, x, seed), bcwc_model(0.5, seed)
+
+
+def _sweep(**kwargs):
+    return sweep(XS, _workload, POLICIES, n_tasksets=2,
+                 master_seed=11, horizon=HORIZON, **kwargs)
+
+
+def _flatten(cells):
+    return [(c.x, sorted(c.normalized.items()), sorted(c.misses.items()),
+             sorted(c.switches.items())) for c in cells]
+
+
+class TestCheckpointResume:
+    def test_resume_after_kill_is_identical(self, tmp_path):
+        plain = _sweep()
+        full = _sweep(checkpoint_dir=tmp_path)
+        # Simulate a kill after the first cell: drop the second
+        # checkpoint and resume.
+        (tmp_path / "cell_0001.json").unlink()
+        resumed = _sweep(checkpoint_dir=tmp_path, resume=True)
+        assert _flatten(plain) == _flatten(full) == _flatten(resumed)
+
+    def test_without_resume_checkpoints_are_cleared(self, tmp_path):
+        _sweep(checkpoint_dir=tmp_path)
+        stamp = (tmp_path / "cell_0000.json").read_text()
+        # Corrupt the file, then re-run *without* resume: it must be
+        # recomputed from scratch, not trusted.
+        (tmp_path / "cell_0000.json").write_text("{}")
+        _sweep(checkpoint_dir=tmp_path)
+        assert (tmp_path / "cell_0000.json").read_text() == stamp
+
+    def test_corrupt_checkpoint_recomputed_on_resume(self, tmp_path):
+        full = _sweep(checkpoint_dir=tmp_path)
+        (tmp_path / "cell_0000.json").write_text("not json at all")
+        resumed = _sweep(checkpoint_dir=tmp_path, resume=True)
+        assert _flatten(full) == _flatten(resumed)
+
+    def test_foreign_fingerprint_refused(self, tmp_path):
+        _sweep(checkpoint_dir=tmp_path)
+        with pytest.raises(ExperimentError, match="different sweep"):
+            sweep(XS, _workload, POLICIES, n_tasksets=2,
+                  master_seed=999,  # different sweep parameters
+                  horizon=HORIZON, checkpoint_dir=tmp_path, resume=True)
+
+    def test_checkpoint_payload_round_trips_exactly(self, tmp_path):
+        cells = _sweep(checkpoint_dir=tmp_path)
+        resumed = _sweep(checkpoint_dir=tmp_path, resume=True)
+        # Resumed cells come purely from JSON; exact float equality
+        # proves the payload round-trip is lossless.
+        for fresh, loaded in zip(cells, resumed):
+            assert fresh.normalized == loaded.normalized
+            assert fresh.interventions == loaded.interventions
+            assert fresh.released == loaded.released
+
+    def test_checkpoint_files_are_valid_json_with_fingerprint(
+            self, tmp_path):
+        _sweep(checkpoint_dir=tmp_path)
+        files = sorted(tmp_path.glob("cell_*.json"))
+        assert len(files) == len(XS)
+        payload = json.loads(files[0].read_text())
+        assert payload["fingerprint"]["master_seed"] == 11
+        assert payload["cell"]["x"] == XS[0]
+
+
+class TestRetries:
+    def test_transient_failure_cured_by_retry(self):
+        failures = {"armed": True}
+
+        def flaky_workload(x, seed):
+            if x == XS[1] and failures["armed"]:
+                failures["armed"] = False
+                raise OSError("transient I/O hiccup")
+            return _workload(x, seed)
+
+        cells = sweep(XS, flaky_workload, POLICIES, n_tasksets=2,
+                      master_seed=11, horizon=HORIZON,
+                      max_retries=1, retry_backoff=0.0)
+        assert _flatten(cells) == _flatten(_sweep())
+
+    def test_persistent_failure_propagates(self):
+        def broken_workload(x, seed):
+            raise OSError("disk on fire")
+
+        with pytest.raises(OSError):
+            sweep(XS, broken_workload, POLICIES, n_tasksets=2,
+                  master_seed=11, horizon=HORIZON,
+                  max_retries=2, retry_backoff=0.0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ExperimentError):
+            _sweep(max_retries=-1)
+
+
+class TestErrorContext:
+    def test_unknown_policy_names_available_keys(self):
+        taskset, model = _workload(0.5, 7)
+        suite = run_suite(taskset, ("static",), ideal_processor(), model,
+                          horizon=HORIZON)
+        with pytest.raises(ExperimentError) as err:
+            suite.normalized("lpSTA")
+        message = str(err.value)
+        assert "lpSTA" in message
+        assert "static" in message and "none" in message
+
+    def test_miss_count_same_error_path(self):
+        stub = SimulationResult(policy="none", horizon=HORIZON)
+        suite = SuiteResult(results={"none": stub}, baseline=stub)
+        with pytest.raises(ExperimentError, match="suite ran: none"):
+            suite.miss_count("ghost")
+
+    def test_simulate_failure_wrapped_with_context(self):
+        # Overrun faults without allow_misses: the engine aborts on the
+        # first miss; run_suite must wrap that with policy/seed/horizon.
+        taskset, model = _workload(0.65, 3)
+        plan = FaultPlan(seed=1, overrun=OverrunFault(factor=1.6))
+        with pytest.raises(SuiteExecutionError) as err:
+            run_suite(taskset, ("ccEDF",), ideal_processor(), model,
+                      horizon=HORIZON, allow_misses=False,
+                      faults=plan, workload_seed=424242)
+        exc = err.value
+        assert exc.policy in ("none", "ccEDF")
+        assert exc.workload_seed == 424242
+        assert exc.horizon == HORIZON
+        assert "424242" in str(exc)
+        assert exc.__cause__ is not None
