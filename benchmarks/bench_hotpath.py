@@ -1,0 +1,103 @@
+"""Hot-path microbenchmarks — the perf-trajectory anchors.
+
+Four benchmarks pin the layers of the performance stack (DESIGN.md §8):
+
+* ``engine_step`` — one full simulation under the cheap ``static``
+  policy, so the measured cost is dominated by the engine's dispatch
+  loop (release processing, scheduling, energy integration) rather
+  than by any slack analysis.
+* ``exact_slack`` / ``heuristic_slack`` — the two slack evaluators on
+  a representative mid-hyperperiod system state.
+* ``exp1_cell`` — one seeded (workload, all-policies) suite, i.e. one
+  cell of EXP-F1 at reduced horizon: the unit the sweep executor
+  parallelises, and the "single-cell engine throughput" number the
+  acceptance criteria track.
+
+``scripts/bench_record.py`` runs these under pytest-benchmark and
+folds the means into a ``BENCH_<date>.json`` so speedups (and
+regressions) are visible PR-over-PR; ``scripts/ci_fast.sh`` fails when
+``engine_step`` degrades more than 25% against the checked-in record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.slack import ActiveJob, SystemState, exact_slack, \
+    heuristic_slack, scale_tasks
+from repro.cpu.profiles import ideal_processor
+from repro.experiments.config import DEFAULT_POLICIES
+from repro.experiments.runner import bcwc_model, run_suite, standard_taskset
+from repro.policies.registry import make_policy
+from repro.sim.engine import simulate
+
+#: Reduced horizon: long enough that per-dispatch costs dominate
+#: setup, short enough for tight benchmark rounds.
+BENCH_HORIZON = 1200.0
+BENCH_SEED = 20020311
+
+
+@pytest.fixture(scope="module")
+def workload():
+    taskset = standard_taskset(8, 0.7, BENCH_SEED)
+    model = bcwc_model(0.5, BENCH_SEED)
+    return taskset, model
+
+
+@pytest.fixture(scope="module")
+def slack_fixture(workload):
+    """A representative mid-run SystemState in the static time base."""
+    taskset, _ = workload
+    baseline = max(taskset.utilization, 1e-9)
+    tasks = scale_tasks(taskset.tasks, baseline)
+    # Phase-shifted releases and partially executed budgets: the shape
+    # the analysis sees at a typical scheduling point.
+    time = 37.0
+    next_release = {
+        task.name: time + (idx * 3.1) % task.period + 0.25
+        for idx, task in enumerate(tasks)}
+    active = tuple(
+        ActiveJob(deadline=time + task.deadline - (idx * 2.3) % 7.0,
+                  remaining_wcet=task.wcet * (0.2 + 0.15 * (idx % 4)))
+        for idx, task in enumerate(tasks[:4]))
+    return SystemState.build(time=time, active=active, tasks=tasks,
+                             next_release=next_release)
+
+
+def test_engine_step(benchmark, workload):
+    taskset, model = workload
+
+    def run():
+        return simulate(taskset, ideal_processor(),
+                        make_policy("static"), model,
+                        horizon=BENCH_HORIZON)
+
+    result = benchmark(run)
+    assert result.jobs_completed > 0
+    assert not result.deadline_misses
+
+
+def test_exact_slack(benchmark, slack_fixture):
+    value = benchmark(exact_slack, slack_fixture, window_cap_periods=2.0)
+    assert value >= 0.0
+
+
+def test_heuristic_slack(benchmark, slack_fixture):
+    value = benchmark(heuristic_slack, slack_fixture)
+    assert value >= 0.0
+    # The heuristic never exceeds the exact analysis.
+    assert value <= exact_slack(slack_fixture, window_cap_periods=2.0) + 1e-9
+
+
+def test_exp1_cell(benchmark, workload):
+    taskset, model = workload
+
+    def run():
+        return run_suite(taskset, DEFAULT_POLICIES, ideal_processor(),
+                         model, horizon=BENCH_HORIZON,
+                         workload_seed=BENCH_SEED)
+
+    suite = benchmark(run)
+    assert set(suite.results) >= set(DEFAULT_POLICIES)
+    for name in DEFAULT_POLICIES:
+        assert suite.miss_count(name) == 0

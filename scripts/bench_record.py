@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Record the repo's performance trajectory into ``BENCH_<date>.json``.
+
+Runs the hot-path microbenchmarks (``benchmarks/bench_hotpath.py``
+under pytest-benchmark) plus a wall-clock timing of a miniature EXP-F1
+sweep (serial and, when the executor supports it, ``workers=4``), and
+writes one JSON record so speedups are tracked PR-over-PR::
+
+    python scripts/bench_record.py                    # BENCH_<today>.json
+    python scripts/bench_record.py --label baseline   # BENCH_<today>.baseline.json
+    python scripts/bench_record.py --compare BENCH_old.json
+    python scripts/bench_record.py --check BENCH_old.json  # CI guard
+
+``--check`` re-runs the benchmarks and exits non-zero when the
+``engine_step`` mean degrades by more than ``--max-regression``
+(default 25%) against the given record — the guard ``scripts/ci_fast.sh``
+runs on every fast loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import inspect
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Mini EXP-F1 sweep used for the wall-clock number: big enough that
+#: per-cell costs dominate pool startup, small enough for CI.
+SWEEP_UTILIZATIONS = (0.3, 0.5, 0.7, 0.9)
+SWEEP_TASKSETS = 3
+SWEEP_HORIZON = 1200.0
+SWEEP_WORKERS = 4
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO,
+            capture_output=True, text=True, check=True).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def run_hotpath_benchmarks() -> dict[str, dict[str, float]]:
+    """Run pytest-benchmark on bench_hotpath and return per-bench stats."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "bench.json"
+        cmd = [sys.executable, "-m", "pytest",
+               str(REPO / "benchmarks" / "bench_hotpath.py"),
+               "-q", "--benchmark-only", "-p", "no:cacheprovider",
+               f"--benchmark-json={out}"]
+        env = os.environ.copy()
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        proc = subprocess.run(cmd, cwd=REPO, capture_output=True,
+                              text=True, env=env)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            raise SystemExit(f"hot-path benchmarks failed "
+                             f"(exit {proc.returncode})")
+        payload = json.loads(out.read_text())
+    stats: dict[str, dict[str, float]] = {}
+    for bench in payload["benchmarks"]:
+        name = bench["name"].removeprefix("test_")
+        stats[name] = {
+            "mean_s": bench["stats"]["mean"],
+            "stddev_s": bench["stats"]["stddev"],
+            "min_s": bench["stats"]["min"],
+            "rounds": bench["stats"]["rounds"],
+        }
+    return stats
+
+
+def _sweep_once(workers: int | None) -> float:
+    from repro.experiments.config import DEFAULT_POLICIES
+    from repro.experiments.runner import bcwc_model, standard_taskset, sweep
+
+    def workload(u: float, seed: int):
+        return (standard_taskset(8, u, seed), bcwc_model(0.5, seed))
+
+    kwargs = {}
+    if workers is not None:
+        if "workers" not in inspect.signature(sweep).parameters:
+            return float("nan")  # executor not available in this revision
+        kwargs["workers"] = workers
+    started = time.perf_counter()
+    sweep(SWEEP_UTILIZATIONS, workload, DEFAULT_POLICIES,
+          n_tasksets=SWEEP_TASKSETS, horizon=SWEEP_HORIZON, **kwargs)
+    return time.perf_counter() - started
+
+
+def run_sweep_timings(*, repeats: int = 2) -> dict[str, float]:
+    """Best-of-N wall-clock of the mini EXP-F1 sweep, serial and parallel."""
+    serial = min(_sweep_once(None) for _ in range(repeats))
+    record = {"serial_s": serial}
+    parallel = min(_sweep_once(SWEEP_WORKERS) for _ in range(repeats))
+    if parallel == parallel:  # NaN when the executor is unavailable
+        record["workers"] = SWEEP_WORKERS
+        record["workers_s"] = parallel
+        record["parallel_speedup"] = serial / parallel
+    return record
+
+
+def build_record(*, skip_sweep: bool = False) -> dict:
+    record = {
+        "schema": 1,
+        "date": _dt.date.today().isoformat(),
+        "rev": _git_rev(),
+        "python": sys.version.split()[0],
+        "hotpath": run_hotpath_benchmarks(),
+    }
+    if not skip_sweep:
+        record["sweep_exp1_mini"] = run_sweep_timings()
+    return record
+
+
+def compare(record: dict, baseline: dict) -> list[str]:
+    lines = []
+    base_hot = baseline.get("hotpath", {})
+    for name, stats in record.get("hotpath", {}).items():
+        if name in base_hot:
+            ratio = base_hot[name]["mean_s"] / stats["mean_s"]
+            lines.append(f"  {name:<18} {base_hot[name]['mean_s'] * 1e3:9.2f}ms"
+                         f" -> {stats['mean_s'] * 1e3:9.2f}ms"
+                         f"   speedup {ratio:5.2f}x")
+    base_sweep = baseline.get("sweep_exp1_mini")
+    sweep = record.get("sweep_exp1_mini")
+    if base_sweep and sweep:
+        serial = base_sweep["serial_s"]
+        best_now = min(sweep["serial_s"],
+                       sweep.get("workers_s", float("inf")))
+        lines.append(f"  {'sweep (vs serial)':<18} {serial:9.2f}s "
+                     f"-> {best_now:9.2f}s   speedup "
+                     f"{serial / best_now:5.2f}x")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_<date>[.label].json)")
+    parser.add_argument("--label", default=None,
+                        help="tag inserted into the default filename, "
+                             "e.g. 'baseline'")
+    parser.add_argument("--compare", default=None, metavar="BENCH_JSON",
+                        help="print speedups against an earlier record")
+    parser.add_argument("--check", default=None, metavar="BENCH_JSON",
+                        help="regression guard: exit 1 when engine_step "
+                             "degrades more than --max-regression")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional engine_step slowdown "
+                             "for --check (default 0.25)")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="record only the microbenchmarks")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO / "src"))
+    record = build_record(skip_sweep=args.skip_sweep or bool(args.check))
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        base = baseline["hotpath"]["engine_step"]["mean_s"]
+        now = record["hotpath"]["engine_step"]["mean_s"]
+        slowdown = now / base - 1.0
+        print(f"engine_step: baseline {base * 1e3:.2f}ms, "
+              f"current {now * 1e3:.2f}ms "
+              f"({slowdown:+.1%} vs allowed +{args.max_regression:.0%})")
+        if slowdown > args.max_regression:
+            print("FAIL: engine hot path regressed beyond the guard",
+                  file=sys.stderr)
+            return 1
+        print("OK: engine hot path within the regression guard")
+        return 0
+
+    if args.out:
+        out = Path(args.out)
+    else:
+        stem = f"BENCH_{record['date']}"
+        if args.label:
+            stem += f".{args.label}"
+        out = REPO / f"{stem}.json"
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    for name, stats in record["hotpath"].items():
+        print(f"  {name:<18} mean {stats['mean_s'] * 1e3:9.2f}ms  "
+              f"({stats['rounds']} rounds)")
+    if "sweep_exp1_mini" in record:
+        sweep = record["sweep_exp1_mini"]
+        line = f"  {'sweep_exp1_mini':<18} serial {sweep['serial_s']:.2f}s"
+        if sweep.get("workers_s", float("nan")) == sweep.get("workers_s"):
+            line += (f"  workers={sweep['workers']} "
+                     f"{sweep['workers_s']:.2f}s "
+                     f"({sweep.get('parallel_speedup', 0):.2f}x)")
+        print(line)
+
+    if args.compare:
+        baseline = json.loads(Path(args.compare).read_text())
+        print(f"vs {args.compare}:")
+        for line in compare(record, baseline):
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Fast CI loop: tier-1 tests minus the slow sweeps, then the hot-path
+# perf regression guard against the newest checked-in BENCH_*.json.
+#
+#   scripts/ci_fast.sh            # ~15s: tests + engine_step guard
+#
+# The guard fails when the engine_step mean degrades more than 25%
+# against the recorded trajectory (scripts/bench_record.py --check).
+# The full tier-1 gate remains `PYTHONPATH=src python -m pytest -x -q`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHONPATH=src python -m pytest -x -q -m "not slow"
+
+latest=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+if [[ -z "${latest}" ]]; then
+    echo "no BENCH_*.json record found; skipping the perf guard"
+    exit 0
+fi
+echo "perf guard vs ${latest}"
+PYTHONPATH=src python scripts/bench_record.py --check "${latest}"

@@ -64,7 +64,7 @@ from repro.tasks.task import PeriodicTask
 from repro.types import Time, Work
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ActiveJob:
     """The slice of job state the analysis needs: (deadline, budget).
 
@@ -81,7 +81,7 @@ class ActiveJob:
                 f"remaining_wcet must be >= 0, got {self.remaining_wcet}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SystemState:
     """A snapshot of the schedule at one scheduling point.
 
@@ -231,11 +231,16 @@ def exact_slack(state: SystemState, *,
     # contributes exactly one event at its own absolute deadline.
     events: list[tuple[Time, Work]] = [
         (job.deadline, job.remaining_wcet) for job in state.active]
+    next_release = state.next_release
+    fence = window_end + 1e-12
+    append = events.append
     for task in state.tasks:
-        deadline = state.next_release[task.name] + task.deadline
-        while deadline <= window_end + 1e-12:
-            events.append((deadline, task.wcet))
-            deadline += task.period
+        deadline = next_release[task.name] + task.deadline
+        period = task.period
+        wcet = task.wcet
+        while deadline <= fence:
+            append((deadline, wcet))
+            deadline += period
     events.sort(key=lambda e: e[0])
 
     best = math.inf
@@ -268,17 +273,39 @@ def heuristic_slack(state: SystemState) -> Time:
         raise ConfigurationError("slack analysis requires an active job")
     t = state.time
     d_first = state.earliest_deadline
-    candidates = {job.deadline for job in state.active}
+    # Pre-extract the per-job and per-task terms once: the candidate
+    # loop below re-evaluates the linear demand bound at every
+    # candidate, and doing so through demand_linear_bound() would
+    # redo the attribute walks and the constrained-deadline correction
+    # per (candidate, task) pair.  The accumulation order is kept
+    # identical (active jobs in state order, then tasks in task
+    # order), so the result is bit-for-bit the same.
+    actives = [(job.deadline, job.remaining_wcet) for job in state.active]
+    next_release = state.next_release
+    task_terms = []
+    candidates = {deadline for deadline, _ in actives}
+    candidates.add(d_first)
     for task in state.tasks:
-        release = state.next_release[task.name]
+        release = next_release[task.name]
+        correction = (task.wcet * (task.period - task.deadline) / task.period
+                      if task.deadline < task.period else 0.0)
+        task_terms.append((release, task.utilization, correction))
         if release >= d_first:
             candidates.add(release)
-    candidates.add(d_first)
     best = math.inf
     for d_k in candidates:
         if d_k < d_first - 1e-12:
             continue
-        g = d_k - t - demand_linear_bound(state, d_k)
+        fence = d_k + 1e-12
+        total = 0.0
+        for deadline, remaining in actives:
+            if deadline <= fence:
+                total += remaining
+        for release, utilization, correction in task_terms:
+            headroom = d_k - release
+            if headroom > 0:
+                total += utilization * headroom + correction
+        g = d_k - t - total
         if g < best:
             best = g
     return max(0.0, best)

@@ -65,6 +65,8 @@ def _call_driver(driver, args: argparse.Namespace):
     if getattr(args, "checkpoint_dir", None):
         offered["checkpoint_dir"] = args.checkpoint_dir
         offered["resume"] = args.resume
+    if getattr(args, "workers", 1) != 1:
+        offered["workers"] = args.workers
     params = inspect.signature(driver).parameters
     accepted = {k: v for k, v in offered.items() if k in params}
     dropped = set(offered) - set(accepted) - {"quick"}
@@ -130,7 +132,16 @@ def _make_idle_policy(args: argparse.Namespace):
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import map_forked
     from repro.faults import parse_fault_plan
+    policy_names = [name.strip() for name in args.policy.split(",")
+                    if name.strip()]
+    unknown = [name for name in policy_names
+               if name not in ALL_POLICY_NAMES]
+    if not policy_names or unknown:
+        print(f"unknown policy {', '.join(unknown) or args.policy!r}; "
+              f"known: {', '.join(ALL_POLICY_NAMES)}", file=sys.stderr)
+        return 2
     if args.benchmark:
         taskset = load_benchmark(args.benchmark)
     else:
@@ -150,25 +161,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         margin = (faults.overrun.factor
                   if faults is not None and faults.overrun is not None
                   else 1.0)
-    policy = make_policy(args.policy,
-                         overhead_aware=args.overhead_aware,
-                         critical_speed_floor=args.critical_speed,
-                         governed=args.governed,
-                         governor_margin=margin)
     horizon = args.horizon or taskset.default_horizon(
         min_jobs_per_task=10, max_hyperperiods=1)
-    result = simulate(taskset, processor, policy, model,
-                      arrival_model=_make_arrival_model(args),
-                      idle_policy=_make_idle_policy(args),
-                      horizon=horizon, record_trace=args.gantt,
-                      allow_misses=args.allow_misses, faults=faults)
+
+    def run_one(name: str):
+        policy = make_policy(name,
+                             overhead_aware=args.overhead_aware,
+                             critical_speed_floor=args.critical_speed,
+                             governed=args.governed,
+                             governor_margin=margin)
+        return simulate(taskset, processor, policy, model,
+                        arrival_model=_make_arrival_model(args),
+                        idle_policy=_make_idle_policy(args),
+                        horizon=horizon, record_trace=args.gantt,
+                        allow_misses=args.allow_misses, faults=faults)
+
+    results = map_forked(
+        [lambda name=name: run_one(name) for name in policy_names],
+        workers=args.workers)
     print(taskset.describe())
     print(processor.describe())
     if faults is not None:
         print(faults.describe())
-    print(result.summary())
-    if args.gantt and result.trace is not None:
-        print("gantt:", result.trace.render_gantt(width=100, end=horizon))
+    for name, result in zip(policy_names, results):
+        if len(policy_names) > 1:
+            print(f"--- {name} ---")
+        print(result.summary())
+        if args.gantt and result.trace is not None:
+            print("gantt:",
+                  result.trace.render_gantt(width=100, end=horizon))
     return 0
 
 
@@ -213,11 +234,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "(experiments that support it)")
     p_run.add_argument("--resume", action="store_true",
                        help="resume a killed sweep from its checkpoints")
+    p_run.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="fan sweep cells out over N worker "
+                            "processes (results are byte-identical to "
+                            "a serial run; experiments that sweep)")
     p_run.set_defaults(func=_cmd_run)
 
     p_sim = sub.add_parser("simulate", help="one ad-hoc simulation")
     p_sim.add_argument("--policy", default="lpSTA",
-                       choices=ALL_POLICY_NAMES)
+                       help="policy name, or a comma-separated list to "
+                            "run several on the same workload (see "
+                            "'repro list')")
+    p_sim.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="with a multi-policy --policy list, run up "
+                            "to N policies in parallel worker processes")
     p_sim.add_argument("--benchmark", default=None,
                        choices=sorted(BENCHMARK_TASKSETS))
     p_sim.add_argument("--tasks", type=int, default=5)

@@ -70,6 +70,7 @@ def energy_vs_utilization(
     policies: Sequence[str] = DEFAULT_POLICIES,
     master_seed: int = 2002,
     quick: bool = False,
+    workers: int = 1,
 ) -> FigureData:
     """EXP-F1: normalized energy vs worst-case utilization."""
     if quick:
@@ -88,7 +89,7 @@ def energy_vs_utilization(
 
     cells = sweep(utilizations, workload, policies,
                   n_tasksets=n_tasksets, master_seed=master_seed,
-                  horizon=EXPERIMENT_HORIZON)
+                  horizon=EXPERIMENT_HORIZON, workers=workers)
     return _aggregate(figure, cells, policies)
 
 
@@ -102,6 +103,7 @@ def energy_vs_bcwc(
     policies: Sequence[str] = DEFAULT_POLICIES,
     master_seed: int = 2002,
     quick: bool = False,
+    workers: int = 1,
 ) -> FigureData:
     """EXP-F2: normalized energy vs bc/wc execution-time ratio."""
     if quick:
@@ -120,7 +122,7 @@ def energy_vs_bcwc(
 
     cells = sweep(ratios, workload, policies,
                   n_tasksets=n_tasksets, master_seed=master_seed,
-                  horizon=EXPERIMENT_HORIZON)
+                  horizon=EXPERIMENT_HORIZON, workers=workers)
     return _aggregate(figure, cells, policies)
 
 
@@ -133,6 +135,7 @@ def energy_vs_ntasks(
     policies: Sequence[str] = DEFAULT_POLICIES,
     master_seed: int = 2002,
     quick: bool = False,
+    workers: int = 1,
 ) -> FigureData:
     """EXP-F3: normalized energy vs number of tasks."""
     if quick:
@@ -151,7 +154,7 @@ def energy_vs_ntasks(
 
     cells = sweep([float(n) for n in task_counts], workload, policies,
                   n_tasksets=n_tasksets, master_seed=master_seed,
-                  horizon=EXPERIMENT_HORIZON)
+                  horizon=EXPERIMENT_HORIZON, workers=workers)
     return _aggregate(figure, cells, policies)
 
 
@@ -165,6 +168,7 @@ def energy_vs_levels(
     policies: Sequence[str] = ("static", "ccEDF", "lpSEH", "lpSTA"),
     master_seed: int = 2002,
     quick: bool = False,
+    workers: int = 1,
 ) -> FigureData:
     """EXP-F4: effect of discrete speed levels (0 = continuous)."""
     if quick:
@@ -189,7 +193,7 @@ def energy_vs_levels(
     cells = sweep([float(n) for n in level_counts], workload, policies,
                   n_tasksets=n_tasksets, master_seed=master_seed,
                   horizon=EXPERIMENT_HORIZON,
-                  processor_factory=processor_for)
+                  processor_factory=processor_for, workers=workers)
     return _aggregate(figure, cells, policies)
 
 
@@ -203,6 +207,7 @@ def overhead_sensitivity(
     policies: Sequence[str] = ("static", "ccEDF", "lpSEH", "lpSTA"),
     master_seed: int = 2002,
     quick: bool = False,
+    workers: int = 1,
 ) -> FigureData:
     """EXP-F5: transition-overhead sensitivity (overhead-aware policies).
 
@@ -239,7 +244,7 @@ def overhead_sensitivity(
                   n_tasksets=n_tasksets, master_seed=master_seed,
                   horizon=EXPERIMENT_HORIZON,
                   processor_factory=processor_for,
-                  overhead_aware=True)
+                  overhead_aware=True, workers=workers)
     return _aggregate(figure, cells, policies)
 
 
@@ -712,6 +717,7 @@ def fault_matrix(
     quick: bool = False,
     checkpoint_dir: str | None = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> FigureData:
     """EXP-FM1: miss rate and governor interventions vs overrun severity.
 
@@ -764,14 +770,14 @@ def fault_matrix(
         n_tasksets=n_tasksets, master_seed=master_seed, horizon=horizon,
         allow_misses=True, faults_factory=plan_for,
         checkpoint_dir=(base_dir / "raw" if base_dir else None),
-        resume=resume)
+        resume=resume, workers=workers)
     governed_cells = sweep(
         factors, workload, policies,
         n_tasksets=n_tasksets, master_seed=master_seed, horizon=horizon,
         allow_misses=True, faults_factory=plan_for,
         policy_factory=governed_factory,
         checkpoint_dir=(base_dir / "governed" if base_dir else None),
-        resume=resume)
+        resume=resume, workers=workers)
 
     raw_misses_total = 0
     governed_misses_total = 0

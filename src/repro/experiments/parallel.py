@@ -1,0 +1,183 @@
+"""Process-parallel sweep execution.
+
+:func:`repro.experiments.runner.sweep` delegates here when asked for
+``workers > 1``.  The unit of parallel work is one **(cell, seed)
+suite** — the same granularity the serial loop iterates — dispatched
+to a pool of forked worker processes; the parent re-assembles each
+:class:`~repro.experiments.runner.SweepCell` by folding suite results
+in seed order, so a parallel sweep is **byte-identical** to a serial
+one (cells are pure functions of their seeds, and the aggregation
+order is preserved).
+
+Why ``fork`` and a module global instead of pickling the workload:
+experiment drivers pass *closures* (``make_workload``,
+``processor_factory``, ``policy_factory``, ``faults_factory``) that
+capture figure parameters and cannot be pickled.  Forked children
+inherit the parent's address space, so the parent publishes the sweep
+spec in :data:`_SPEC` immediately before creating the pool and the
+workers read it for free.  On platforms without ``fork`` (Windows,
+macOS spawn default) :func:`fork_available` returns ``False`` and the
+caller falls back to the serial path — results are identical either
+way.
+
+Failure semantics match the serial loop: results are consumed in
+submission order (index-major, then seed order), so the first failure
+surfaced is the lowest-ordered failing unit, wrapped by
+:func:`~repro.experiments.runner.run_suite` in a
+:class:`~repro.errors.SuiteExecutionError` that names the policy,
+workload seed and horizon and survives the process boundary.  Cells
+fully completed before the failing unit are already checkpointed —
+exactly the state a killed serial sweep leaves behind.  Retries run
+*inside* the worker at (cell, seed) granularity with the same
+exponential backoff as the serial per-cell retry.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any
+
+from repro.cpu.profiles import ideal_processor
+
+if TYPE_CHECKING:
+    from repro.experiments.runner import SweepCell, SweepCheckpointer
+
+#: Sweep spec published by the parent just before the pool forks;
+#: inherited read-only by the workers.  Holds the (unpicklable)
+#: workload closures plus the scalar run parameters.
+_SPEC: dict[str, Any] | None = None
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork workers (required for closures)."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def default_workers() -> int:
+    """Default worker count: one per available CPU."""
+    return os.cpu_count() or 1
+
+
+def _run_unit(unit: tuple[int, float, int]) -> Any:
+    """One (cell, seed) suite, executed inside a forked worker."""
+    from repro.experiments.runner import run_suite
+
+    index, x, seed = unit
+    spec = _SPEC
+    if spec is None:  # pragma: no cover - guards misuse, not a code path
+        raise RuntimeError("worker forked before the sweep spec was set")
+    processor_factory = spec["processor_factory"]
+    policy_factory = spec["policy_factory"]
+    faults_factory = spec["faults_factory"]
+    attempt = 0
+    while True:
+        try:
+            taskset, model = spec["make_workload"](x, seed)
+            processor = (processor_factory(x) if processor_factory
+                         else ideal_processor())
+            return run_suite(
+                taskset, spec["policy_names"], processor, model,
+                horizon=spec["horizon"],
+                overhead_aware=spec["overhead_aware"],
+                allow_misses=spec["allow_misses"],
+                policy_factory=(policy_factory(x)
+                                if policy_factory else None),
+                faults=(faults_factory(x, seed)
+                        if faults_factory else None),
+                workload_seed=seed)
+        except Exception:
+            if attempt >= spec["max_retries"]:
+                raise
+            _time.sleep(spec["retry_backoff"] * (2.0 ** attempt))
+            attempt += 1
+
+
+#: Thunk table for :func:`map_forked`, inherited by forked workers.
+_CALLS: list[Any] | None = None
+
+
+def _call_indexed(index: int) -> Any:
+    calls = _CALLS
+    if calls is None:  # pragma: no cover - guards misuse, not a code path
+        raise RuntimeError("worker forked before the call table was set")
+    return calls[index]()
+
+
+def map_forked(calls: "list[Any]", workers: int) -> list[Any]:
+    """Evaluate zero-argument callables on forked workers, in order.
+
+    The generic sibling of :func:`run_cells` for callers (e.g. the
+    ``simulate`` CLI running several policies) that just want N
+    independent computations fanned out.  Results come back in call
+    order; the first failing call's exception propagates.  Falls back
+    to a serial loop when forking is unavailable or ``workers <= 1``.
+    """
+    if workers <= 1 or len(calls) <= 1 or not fork_available():
+        return [call() for call in calls]
+    global _CALLS
+    _CALLS = calls
+    try:
+        ctx = mp.get_context("fork")
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=ctx) as pool:
+            futures = [pool.submit(_call_indexed, i)
+                       for i in range(len(calls))]
+            return [future.result() for future in futures]
+    finally:
+        _CALLS = None
+
+
+def run_cells(
+    pending: list[tuple[int, float]],
+    seeds: list[int],
+    *,
+    spec: dict[str, Any],
+    workers: int,
+    checkpointer: "SweepCheckpointer | None" = None,
+) -> "dict[int, SweepCell]":
+    """Compute the *pending* (index, x) cells on a forked worker pool.
+
+    Returns ``{index: SweepCell}`` with each cell's suites folded in
+    seed order — the exact aggregation the serial loop performs — and
+    checkpoints every completed cell through *checkpointer* as soon as
+    its last seed finishes.
+    """
+    from repro.experiments.runner import SweepCell
+
+    global _SPEC
+    units = [(index, x, seed) for index, x in pending for seed in seeds]
+    cells: dict[int, SweepCell] = {}
+    suites: dict[int, dict[int, Any]] = {index: {} for index, _ in pending}
+    xs = dict(pending)
+    _SPEC = spec
+    try:
+        ctx = mp.get_context("fork")
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=ctx) as pool:
+            futures = [(unit, pool.submit(_run_unit, unit))
+                       for unit in units]
+            for pos, ((index, _x, _seed), future) in enumerate(futures):
+                try:
+                    suite = future.result()
+                except Exception:
+                    for _, later in futures[pos + 1:]:
+                        later.cancel()
+                    raise
+                # Key by seed *position*: taskset_seeds could in
+                # principle repeat a seed value, and position is what
+                # the serial aggregation order is defined over.
+                suites[index][pos % len(seeds)] = suite
+                if len(suites[index]) == len(seeds):
+                    per_cell = suites.pop(index)
+                    cell = SweepCell(x=float(xs[index]))
+                    for seed_pos in range(len(seeds)):
+                        cell.record(per_cell[seed_pos])
+                    if checkpointer is not None:
+                        checkpointer.store(index, cell)
+                    cells[index] = cell
+    finally:
+        _SPEC = None
+    return cells

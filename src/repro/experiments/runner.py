@@ -255,6 +255,7 @@ def sweep(
     resume: bool = False,
     max_retries: int = 0,
     retry_backoff: float = 0.25,
+    workers: int = 1,
 ) -> list[SweepCell]:
     """The generic experiment sweep.
 
@@ -274,12 +275,20 @@ def sweep(
     identical to an uninterrupted run.  Cells that fail are retried up
     to *max_retries* times with exponential backoff before the failure
     propagates.
+
+    ``workers > 1`` fans the (cell, seed) units out over that many
+    forked worker processes (see :mod:`repro.experiments.parallel`);
+    aggregation order is preserved, so the cells — and any checkpoints
+    written — are byte-identical to a ``workers=1`` run.  On platforms
+    without ``fork`` the sweep silently runs serially.
     """
     if not xs:
         raise ExperimentError("sweep needs at least one x value")
     if max_retries < 0:
         raise ExperimentError(
             f"max_retries must be >= 0, got {max_retries}")
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
     checkpointer = None
     if checkpoint_dir is not None:
         fingerprint = {
@@ -310,6 +319,36 @@ def sweep(
                 workload_seed=seed)
             cell.record(suite)
         return cell
+
+    if workers > 1:
+        from repro.experiments.parallel import fork_available, run_cells
+        if fork_available():
+            by_index: dict[int, SweepCell] = {}
+            pending: list[tuple[int, float]] = []
+            for index, x in enumerate(xs):
+                cached = (checkpointer.load(index, float(x))
+                          if checkpointer is not None else None)
+                if cached is not None:
+                    by_index[index] = cached
+                else:
+                    pending.append((index, float(x)))
+            if pending:
+                by_index.update(run_cells(
+                    pending, taskset_seeds(master_seed, n_tasksets),
+                    spec={
+                        "make_workload": make_workload,
+                        "policy_names": list(policy_names),
+                        "horizon": horizon,
+                        "processor_factory": processor_factory,
+                        "overhead_aware": overhead_aware,
+                        "allow_misses": allow_misses,
+                        "policy_factory": policy_factory,
+                        "faults_factory": faults_factory,
+                        "max_retries": max_retries,
+                        "retry_backoff": retry_backoff,
+                    },
+                    workers=workers, checkpointer=checkpointer))
+            return [by_index[index] for index in range(len(xs))]
 
     cells = []
     for index, x in enumerate(xs):

@@ -24,6 +24,7 @@ so deadlines beyond the window are covered conservatively.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import TYPE_CHECKING
 
 from repro.policies.base import DvsPolicy
@@ -44,9 +45,22 @@ class ClairvoyantPolicy(DvsPolicy):
         super().__init__()
         self.window_cap_periods = window_cap_periods
         self._work_cache: dict[tuple[str, int], float] = {}
+        # Per task, the (absolute deadline, actual work) of its future
+        # jobs by index, grown lazily.  Deadlines are monotone in the
+        # job index (arrivals are monotone, the relative deadline is a
+        # constant offset), so each intensity() call takes the events
+        # inside its window by binary search instead of re-querying the
+        # arrival oracle job by job.
+        self._event_cache: dict[str, tuple[list[Time], list[Work]]] = {}
+        self._max_period: Time = 0.0
+
+    def bind(self, taskset, processor) -> None:
+        super().bind(taskset, processor)
+        self._max_period = max(task.period for task in taskset)
 
     def reset(self) -> None:
         self._work_cache = {}
+        self._event_cache = {}
 
     # -- oracle workload knowledge ---------------------------------------
 
@@ -60,6 +74,22 @@ class ClairvoyantPolicy(DvsPolicy):
             self._work_cache[key] = cached
         return cached
 
+    def _task_events(self, ctx: "SimContext", task: PeriodicTask,
+                     window_end: Time) -> tuple[list[Time], list[Work]]:
+        """Cached (deadline, work) streams of *task*, grown past the window."""
+        cached = self._event_cache.get(task.name)
+        if cached is None:
+            cached = ([], [])
+            self._event_cache[task.name] = cached
+        deadlines, works = cached
+        arrivals = ctx.arrival_model
+        fence = window_end + 1e-12
+        while not deadlines or deadlines[-1] <= fence:
+            k = len(deadlines)
+            deadlines.append(arrivals.arrival_time(task, k) + task.deadline)
+            works.append(self._work(ctx, task, k))
+        return cached
+
     # -- the YDS intensity -------------------------------------------------
 
     def intensity(self, ctx: "SimContext") -> Speed:
@@ -69,7 +99,9 @@ class ClairvoyantPolicy(DvsPolicy):
         if not active:
             return 0.0
         tasks = ctx.taskset.tasks
-        max_period = max(task.period for task in tasks)
+        max_period = self._max_period
+        if max_period <= 0.0:
+            max_period = max(task.period for task in tasks)
         latest_active = max(j.deadline for j in active)
         # Obligations end at the simulation horizon, so the analysis
         # window never needs to extend beyond it.
@@ -82,18 +114,16 @@ class ClairvoyantPolicy(DvsPolicy):
         # actual demand, one event per job at its own deadline.  The
         # oracle is allowed to read both workload oracles: actual
         # execution demands and actual (possibly sporadic) arrivals.
-        arrivals = ctx.arrival_model
+        fence = window_end + 1e-12
         events: list[tuple[Time, Work]] = [
             (j.deadline, j.remaining_work) for j in active]
+        extend = events.extend
         for task in tasks:
-            k = ctx.next_job_index(task.name)
-            while True:
-                arrival = arrivals.arrival_time(task, k)
-                deadline = arrival + task.deadline
-                if deadline > window_end + 1e-12:
-                    break
-                events.append((deadline, self._work(ctx, task, k)))
-                k += 1
+            k0 = ctx.next_job_index(task.name)
+            deadlines, works = self._task_events(ctx, task, window_end)
+            hi = bisect_right(deadlines, fence)
+            if hi > k0:
+                extend(zip(deadlines[k0:hi], works[k0:hi]))
         events.sort(key=lambda e: e[0])
 
         best = 0.0

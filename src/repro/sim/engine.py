@@ -16,6 +16,7 @@ demonstrating that ignoring switch overhead is unsafe).
 from __future__ import annotations
 
 import math
+from heapq import heapify, heappop, heappush
 from typing import TYPE_CHECKING, Mapping
 
 from repro.analysis.slack import ActiveJob, SystemState
@@ -45,10 +46,22 @@ _WORK_EPS = 1e-9
 
 
 class SimContext:
-    """The read-only view of engine state handed to DVS policies."""
+    """The read-only view of engine state handed to DVS policies.
+
+    The release map handed to the slack analyses only changes when a
+    job is released (periodic arrivals) or time advances (the
+    pessimistic sporadic view), so the context memoizes it against the
+    engine's release version — policies that snapshot the schedule
+    several times per scheduling point (wrappers, dual-baseline
+    policies) share one dict instead of rebuilding it per call.
+    Callers must treat the returned mapping as frozen; the cache is
+    replaced, never mutated, so holding a reference stays safe.
+    """
 
     def __init__(self, engine: "Simulator") -> None:
         self._engine = engine
+        self._map_cache: tuple[int, Time | None, dict[str, Time]] | None \
+            = None
 
     @property
     def time(self) -> Time:
@@ -94,9 +107,29 @@ class SimContext:
         return self._engine._pessimistic_next_release(task_name)
 
     def next_release_map(self) -> Mapping[str, Time]:
-        """Earliest possible next release for every task."""
-        return {task.name: self._engine._pessimistic_next_release(task.name)
-                for task in self._engine.taskset}
+        """Earliest possible next release for every task.
+
+        Memoized against the engine's release version (and, for
+        sporadic arrivals, the current time): rebuilding only happens
+        after a release, not at every analysis call.
+        """
+        engine = self._engine
+        cached = self._map_cache
+        if engine.arrival_model.is_periodic:
+            if cached is not None and cached[0] == engine._release_version:
+                return cached[2]
+            # Identical keys/order/values to the pessimistic view: for
+            # periodic arrivals the sampled release *is* the bound.
+            mapping = dict(engine._next_release)
+            self._map_cache = (engine._release_version, None, mapping)
+            return mapping
+        if (cached is not None and cached[0] == engine._release_version
+                and cached[1] == engine._now):
+            return cached[2]
+        mapping = {task.name: engine._pessimistic_next_release(task.name)
+                   for task in engine.taskset}
+        self._map_cache = (engine._release_version, engine._now, mapping)
+        return mapping
 
     def next_event_time(self) -> Time:
         """Earliest possible future release (horizon when none remains).
@@ -105,11 +138,19 @@ class SimContext:
         :meth:`next_release_of`.
         """
         engine = self._engine
-        candidates = [self.next_release_of(task.name)
-                      for task in engine.taskset
-                      if engine._next_release[task.name]
-                      < engine.horizon - TIME_EPS]
-        return min(candidates) if candidates else engine.horizon
+        if engine.arrival_model.is_periodic:
+            # Pessimistic == actual: the release heap already knows
+            # the earliest pending release.
+            return engine._next_release_global()
+        horizon = engine.horizon
+        next_release = engine._next_release
+        best = horizon
+        for task in engine.taskset:
+            if next_release[task.name] < horizon - TIME_EPS:
+                candidate = engine._pessimistic_next_release(task.name)
+                if candidate < best:
+                    best = candidate
+        return best
 
     def next_job_index(self, task_name: str) -> int:
         """Index of the task's next (not yet released) job."""
@@ -143,14 +184,19 @@ class SimContext:
         with :func:`repro.analysis.slack.scale_tasks`, to avoid
         rebuilding task objects at every scheduling point).
         """
+        engine = self._engine
         active = tuple(
             ActiveJob(deadline=job.deadline,
                       remaining_wcet=job.remaining_wcet / baseline_speed)
-            for job in self._engine._active)
+            for job in engine._active)
         tasks = (scaled_tasks if scaled_tasks is not None
-                 else self._engine.taskset.tasks)
-        return SystemState.build(
-            time=self._engine._now,
+                 else engine.taskset.tasks)
+        # Direct construction: the engine maintains the invariants
+        # SystemState.build() re-validates (every task present, no
+        # release in the past), and the memoized release map is frozen
+        # by contract, so the build-time copy is skipped too.
+        return SystemState(
+            time=engine._now,
             active=active,
             tasks=tasks,
             next_release=self.next_release_map(),
@@ -205,6 +251,8 @@ class Simulator:
         self._now: Time = 0.0
         self._active: list[Job] = []
         self._next_release: dict[str, Time] = {}
+        self._release_heap: list[tuple[Time, str]] = []
+        self._release_version: int = 0
         self._next_index: dict[str, int] = {}
         self._current_speed: Speed = 1.0
         self._missed_jobs: set[str] = set()
@@ -256,6 +304,16 @@ class Simulator:
         self._last_arrival: dict[str, Time | None] = {
             t.name: None for t in self.taskset}
         self._next_index = {t.name: 0 for t in self.taskset}
+        # Min-heap over pending release times with lazy invalidation:
+        # an entry is current iff it matches _next_release[name].  The
+        # heap answers "earliest pending release" in O(1) amortised
+        # instead of a per-task scan at every scheduling point.
+        self._release_heap: list[tuple[Time, str]] = [
+            (r, name) for name, r in self._next_release.items()]
+        heapify(self._release_heap)
+        # Bumped on every release; SimContext caches key off it.
+        self._release_version = 0
+        self._ctx._map_cache = None
         self._trace = TraceRecorder(enabled=self.record_trace)
         self._result = SimulationResult(
             policy=getattr(self.policy, "name", type(self.policy).__name__),
@@ -264,9 +322,18 @@ class Simulator:
         )
 
     def _next_release_global(self) -> Time:
-        pending = [r for r in self._next_release.values()
-                   if r < self.horizon - TIME_EPS]
-        return min(pending) if pending else self.horizon
+        top = self._release_top()
+        if top is not None and top < self.horizon - TIME_EPS:
+            return top
+        return self.horizon
+
+    def _release_top(self) -> Time | None:
+        """Earliest pending release, dropping stale heap entries."""
+        heap = self._release_heap
+        next_release = self._next_release
+        while heap and heap[0][0] != next_release[heap[0][1]]:
+            heappop(heap)
+        return heap[0][0] if heap else None
 
     def _pessimistic_next_release(self, task_name: str) -> Time:
         """Earliest possible next release an online policy may assume."""
@@ -280,6 +347,14 @@ class Simulator:
 
     def _process_releases(self) -> None:
         """Create all jobs whose release time has arrived."""
+        # Fast path: when the earliest pending release is still in the
+        # future, nothing can release — skip the per-task scan (this is
+        # the common case, since most scheduling points are completions
+        # mid-period).
+        top = self._release_top()
+        if top is None or top > self._now + TIME_EPS:
+            self._check_misses()
+            return
         for task in self.taskset:
             while (self._next_release[task.name] <= self._now + TIME_EPS
                    and self._next_release[task.name] < self.horizon - TIME_EPS):
@@ -298,15 +373,18 @@ class Simulator:
                 self._result.task_stats[task.name].released += 1
                 self._last_arrival[task.name] = release
                 self._next_index[task.name] = index + 1
-                self._next_release[task.name] = \
-                    self.arrival_model.arrival_time(task, index + 1)
+                next_release = self.arrival_model.arrival_time(task, index + 1)
+                self._next_release[task.name] = next_release
+                heappush(self._release_heap, (next_release, task.name))
+                self._release_version += 1
                 self.policy.on_release(job, self._ctx)
         self._check_misses()
 
     def _check_misses(self) -> None:
         """Detect active jobs whose deadline has already passed."""
+        fence = self._now - 1e-6
         for job in self._active:
-            if job.deadline < self._now - 1e-6 and job.name not in self._missed_jobs:
+            if job.deadline < fence and job.name not in self._missed_jobs:
                 self._register_miss(job, detected_at=self._now)
 
     def _register_miss(self, job: Job, detected_at: Time) -> None:
@@ -445,23 +523,40 @@ class Simulator:
             self._last_running = job
             return
 
-        completion = self._now + job.remaining_work / speed
-        next_point = min(completion, self._next_release_global(), self.horizon)
+        remaining = job.remaining_work
+        completion = self._now + remaining / speed
+        fence = min(self._next_release_global(), self.horizon)
+        if completion <= fence:
+            # The job runs to completion before the next release: the
+            # scheduling point is the completion event itself, and the
+            # full remaining budget retires *exactly* — computing
+            # ``speed * duration`` here would re-round the division
+            # and leave float dust in ``remaining_work`` that long
+            # horizons accumulate.
+            next_point = completion
+            retired = remaining
+        else:
+            # The next event time is known exactly (release timestamps
+            # are arrival-model prefix sums; the horizon is a
+            # constant), so assign it instead of accumulating a dt.
+            next_point = fence
+            retired = min(speed * (next_point - self._now), remaining)
         duration = next_point - self._now
         if duration <= 0:
             raise SimulationError(
                 f"no progress at t={self._now} (next point {next_point})")
-        retired = min(speed * duration, job.remaining_work)
         job.execute(retired)
+        result = self._result
         energy = self.processor.active_energy(speed, duration)
-        self._result.busy_energy += energy
-        self._result.busy_time += duration
+        result.busy_energy += energy
+        result.busy_time += duration
         key = round(speed, 12)
-        self._result.speed_time[key] = (
-            self._result.speed_time.get(key, 0.0) + duration)
-        self._result.task_stats[job.task.name].total_executed += retired
-        self._trace.run(self._now, next_point, job.name, job.task.name,
-                        speed, energy)
+        result.speed_time[key] = (
+            result.speed_time.get(key, 0.0) + duration)
+        result.task_stats[job.task.name].total_executed += retired
+        if self.record_trace:
+            self._trace.run(self._now, next_point, job.name, job.task.name,
+                            speed, energy)
         self._now = next_point
         self._last_running = job
 

@@ -32,6 +32,8 @@ class Scheduler(ABC):
         """The highest-priority ready job, or ``None`` when idle."""
         if not ready:
             return None
+        if len(ready) == 1:
+            return ready[0]
         return min(ready, key=self.sort_key)
 
     def sorted_ready(self, ready: Sequence[Job]) -> list[Job]:

@@ -54,6 +54,7 @@ class ExecutionModel(ABC):
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
+        self._work_cache: dict[tuple[str, float, float, int], Work] = {}
 
     @abstractmethod
     def ratio(self, task: PeriodicTask, index: int) -> float:
@@ -62,10 +63,22 @@ class ExecutionModel(ABC):
     def work(self, task: PeriodicTask, index: int) -> Work:
         """Actual demand of the *index*-th job of *task*.
 
-        Respects the task's ``bcet`` as a hard lower bound.
+        Respects the task's ``bcet`` as a hard lower bound.  Samples
+        are memoized: the map is a pure function of ``(seed, task,
+        index)``, and one model instance typically serves every policy
+        of a suite (plus the clairvoyant oracle), so caching skips the
+        per-query hash-seeded RNG reconstruction on all but the first
+        lookup.  The key carries the WCET/BCET so a model shared
+        across differently-scaled task sets stays correct.
         """
-        demand = _clamp_ratio(self.ratio(task, index)) * task.wcet
-        return min(task.wcet, max(demand, task.bcet, MIN_RATIO * task.wcet))
+        key = (task.name, task.wcet, task.bcet, index)
+        cached = self._work_cache.get(key)
+        if cached is None:
+            demand = _clamp_ratio(self.ratio(task, index)) * task.wcet
+            cached = min(task.wcet,
+                         max(demand, task.bcet, MIN_RATIO * task.wcet))
+            self._work_cache[key] = cached
+        return cached
 
     def describe(self) -> str:
         """One-line human description used in experiment reports."""

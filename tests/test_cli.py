@@ -123,9 +123,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_policy_choices_validated(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["simulate", "--policy", "bogus"])
+    def test_policy_choices_validated(self, capsys):
+        # Validation happens at command time (the option accepts a
+        # comma-separated list, so argparse choices can't check it).
+        assert main(["simulate", "--policy", "bogus"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_policy_list_validated(self, capsys):
+        assert main(["simulate", "--policy", "lpSTA,bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
 
 
 class TestSimulateExtensions:

@@ -73,6 +73,7 @@ class TestRunnerHelpers:
 class TestFigureDrivers:
     """Quick-mode smoke runs pinning the reproduction shapes."""
 
+    @pytest.mark.slow
     def test_fig1_shape(self):
         fig = energy_vs_utilization(quick=True)
         assert set(fig.series) == set(DEFAULT_POLICIES)
@@ -87,6 +88,7 @@ class TestFigureDrivers:
             for p in points:
                 assert p.extra["misses"] == 0
 
+    @pytest.mark.slow
     def test_fig2_savings_grow_with_slack(self):
         fig = energy_vs_bcwc(quick=True)
         sta = [p.mean for p in fig.series["lpSTA"]]
@@ -103,6 +105,7 @@ class TestFigureDrivers:
         continuous = by_x.pop(0.0)
         assert all(continuous <= v + 1e-9 for v in by_x.values())
 
+    @pytest.mark.slow
     def test_fig5_runs_overhead_aware(self):
         fig = overhead_sensitivity(quick=True)
         for points in fig.series.values():
@@ -142,6 +145,7 @@ class TestFigureDrivers:
         plain = {p.x: p.mean for p in fig.series["sleep-on-idle"]}
         assert plain[0.5] < never[0.5]
 
+    @pytest.mark.slow
     def test_fig10_quick_shape(self):
         from repro.experiments.figures import sporadic_sensitivity
         fig = sporadic_sensitivity(quick=True)
@@ -201,6 +205,7 @@ class TestTableDrivers:
         assert {"ideal", "generic4", "xscale", "sa1100",
                 "crusoe"} <= names
 
+    @pytest.mark.slow
     def test_table2_realworld(self):
         table = realworld_table(quick=True)
         assert {row["taskset"] for row in table.rows} == \
