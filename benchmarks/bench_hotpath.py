@@ -1,6 +1,6 @@
 """Hot-path microbenchmarks — the perf-trajectory anchors.
 
-Four benchmarks pin the layers of the performance stack (DESIGN.md §8):
+Five benchmarks pin the layers of the performance stack (DESIGN.md §8):
 
 * ``engine_step`` — one full simulation under the cheap ``static``
   policy, so the measured cost is dominated by the engine's dispatch
@@ -12,11 +12,16 @@ Four benchmarks pin the layers of the performance stack (DESIGN.md §8):
   cell of EXP-F1 at reduced horizon: the unit the sweep executor
   parallelises, and the "single-cell engine throughput" number the
   acceptance criteria track.
+* ``cache_roundtrip`` — one fingerprint + hit on the persistent suite
+  cache: the fixed cost a cache hit pays instead of the ``exp1_cell``
+  simulation, so the hit-vs-simulate margin is tracked explicitly
+  (a hit must stay orders of magnitude cheaper than the cell).
 
 ``scripts/bench_record.py`` runs these under pytest-benchmark and
 folds the means into a ``BENCH_<date>.json`` so speedups (and
 regressions) are visible PR-over-PR; ``scripts/ci_fast.sh`` fails when
-``engine_step`` degrades more than 25% against the checked-in record.
+``engine_step`` degrades more than 25% against the checked-in record
+and when the mini-sweep ``parallel_speedup`` drops below 1.0.
 """
 
 from __future__ import annotations
@@ -101,3 +106,26 @@ def test_exp1_cell(benchmark, workload):
     assert set(suite.results) >= set(DEFAULT_POLICIES)
     for name in DEFAULT_POLICIES:
         assert suite.miss_count(name) == 0
+
+
+def test_cache_roundtrip(benchmark, tmp_path):
+    from repro.experiments.cache import (PolicySummary, SuiteCache,
+                                         suite_fingerprint)
+
+    cache = SuiteCache(tmp_path)
+    summaries = {
+        name: PolicySummary(normalized=0.5 + 0.01 * i, misses=0,
+                            switches=40 + i, overruns=0, released=120,
+                            interventions=0, dispatches=0)
+        for i, name in enumerate(("none",) + tuple(DEFAULT_POLICIES))}
+    key = dict(workload_id="bench:cache-roundtrip", x=0.7,
+               seed=BENCH_SEED, policies=DEFAULT_POLICIES,
+               horizon=BENCH_HORIZON)
+    digest, payload = suite_fingerprint(**key)
+    cache.put(digest, summaries, key_payload=payload)
+
+    def hit():
+        digest, _ = suite_fingerprint(**key)
+        return cache.get(digest)
+
+    assert benchmark(hit) == summaries

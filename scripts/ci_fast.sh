@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
-# Fast CI loop: tier-1 tests minus the slow sweeps, then the hot-path
-# perf regression guard against the newest checked-in BENCH_*.json.
+# Fast CI loop: tier-1 tests minus the slow sweeps, the parallel
+# executor's determinism/cache contract, then the perf regression
+# guards against the newest checked-in BENCH_*.json.
 #
-#   scripts/ci_fast.sh            # ~15s: tests + engine_step guard
+#   scripts/ci_fast.sh            # tests + determinism + perf guards
 #
-# The guard fails when the engine_step mean degrades more than 25%
-# against the recorded trajectory (scripts/bench_record.py --check).
+# The perf guard fails when the engine_step mean degrades more than
+# 25% against the recorded trajectory, or when the mini-sweep
+# parallel_speedup falls below 1.0 (scripts/bench_record.py --check).
 # The full tier-1 gate remains `PYTHONPATH=src python -m pytest -x -q`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PYTHONPATH=src python -m pytest -x -q -m "not slow"
+
+# The byte-identity contract of the chunked warm-pool executor and the
+# suite cache, explicitly — the guard the parallel layer lives under.
+PYTHONPATH=src python -m pytest -x -q \
+    tests/test_parallel_sweep.py tests/test_cell_cache.py
 
 latest=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
 if [[ -z "${latest}" ]]; then

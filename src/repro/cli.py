@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 import time
 from pathlib import Path
@@ -67,6 +68,9 @@ def _call_driver(driver, args: argparse.Namespace):
         offered["resume"] = args.resume
     if getattr(args, "workers", 1) != 1:
         offered["workers"] = args.workers
+    if (getattr(args, "cache_dir", None)
+            and not getattr(args, "no_cache", False)):
+        offered["cache_dir"] = args.cache_dir
     params = inspect.signature(driver).parameters
     accepted = {k: v for k, v in offered.items() if k in params}
     dropped = set(offered) - set(accepted) - {"quick"}
@@ -238,6 +242,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan sweep cells out over N worker "
                             "processes (results are byte-identical to "
                             "a serial run; experiments that sweep)")
+    p_run.add_argument("--cache-dir", metavar="DIR",
+                       default=os.environ.get("REPRO_CACHE_DIR"),
+                       help="persistent content-addressed suite cache: "
+                            "completed (cell, seed) suites are reused "
+                            "across runs, byte-identically (default: "
+                            "$REPRO_CACHE_DIR; experiments that sweep)")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="ignore --cache-dir/$REPRO_CACHE_DIR and "
+                            "recompute every suite")
     p_run.set_defaults(func=_cmd_run)
 
     p_sim = sub.add_parser("simulate", help="one ad-hoc simulation")

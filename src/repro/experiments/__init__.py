@@ -8,6 +8,11 @@ from repro.experiments.config import (
     SeriesPoint,
     TableData,
 )
+from repro.experiments.cache import (
+    PolicySummary,
+    SuiteCache,
+    suite_fingerprint,
+)
 from repro.experiments.runner import (
     SuiteResult,
     SweepCell,
@@ -55,6 +60,9 @@ __all__ = [
     "FigureData",
     "SeriesPoint",
     "TableData",
+    "PolicySummary",
+    "SuiteCache",
+    "suite_fingerprint",
     "SuiteResult",
     "SweepCell",
     "run_suite",

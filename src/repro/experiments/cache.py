@@ -1,0 +1,198 @@
+"""Persistent content-addressed cache of completed suite results.
+
+A sweep is a pure function of its seeds: one **(cell, seed) suite** is
+fully determined by the workload, the parameter value ``x``, the seed,
+the policy set, the run scalars and the fault plan.  This module gives
+that purity teeth — every completed suite is summarised into the exact
+aggregate :class:`~repro.experiments.runner.SweepCell` consumes
+(:class:`PolicySummary` per policy) and persisted under a SHA-256
+fingerprint of everything that determines it, so re-running a sweep —
+or a *different* sweep sharing cells, or the same sweep after a crash
+on another machine — replays cache hits instead of re-simulating.
+
+The fingerprint (:func:`suite_fingerprint`) covers:
+
+* a caller-supplied **workload id** naming the workload closure and any
+  parameterisation not captured by the keyed scalars (figure drivers
+  pass e.g. ``"EXP-F1:u:n=8:bcwc=0.5"``; anything that changes the
+  workload, the processor factory or the policy factory MUST change
+  the id — closures cannot be hashed, so this is the caller's contract);
+* the sweep scalars: ``x``, ``seed``, the policy name list, ``horizon``,
+  ``overhead_aware``, ``allow_misses``;
+* the full fault plan for the unit (``dataclasses.asdict`` of the
+  seeded :class:`~repro.faults.FaultPlan`, or ``None``);
+* a **code epoch** — ``repro.__version__`` by default — so a release
+  that changes simulation behaviour invalidates every entry at once.
+
+Entries are one JSON file each, sharded by the first two hex digits,
+written atomically (temp file + rename) so a killed run never leaves a
+readable-but-corrupt entry; unreadable entries read as misses and are
+recomputed.  Because :class:`PolicySummary` floats round-trip exactly
+through JSON, a cache-hit replay folds into byte-identical cells —
+``tests/test_cell_cache.py`` pins that against serial cold runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from repro.faults import FaultPlan
+
+#: Bumped whenever the entry layout or fingerprint payload changes;
+#: part of the fingerprint, so old caches read as misses, not errors.
+CACHE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class PolicySummary:
+    """Everything a sweep aggregates from one policy's simulation.
+
+    The serialisable projection of one
+    :class:`~repro.sim.results.SimulationResult` that
+    :meth:`~repro.experiments.runner.SweepCell.record_summaries`
+    consumes — and the unit of both the persistent cache and the
+    worker→parent IPC of the parallel executor (returning summaries
+    instead of full results keeps the per-chunk pickle tiny).
+    """
+
+    normalized: float
+    misses: int
+    switches: int
+    overruns: int
+    released: int
+    interventions: int
+    dispatches: int
+
+    def to_payload(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "PolicySummary":
+        return cls(
+            normalized=float(payload["normalized"]),
+            misses=int(payload["misses"]),
+            switches=int(payload["switches"]),
+            overruns=int(payload["overruns"]),
+            released=int(payload["released"]),
+            interventions=int(payload["interventions"]),
+            dispatches=int(payload["dispatches"]),
+        )
+
+
+def fault_plan_payload(plan: "FaultPlan | None") -> dict | None:
+    """A stable, JSON-safe rendering of a fault plan (or ``None``)."""
+    return None if plan is None else asdict(plan)
+
+
+def suite_fingerprint(
+    *,
+    workload_id: str,
+    x: float,
+    seed: int,
+    policies: Sequence[str],
+    horizon: float,
+    overhead_aware: bool = False,
+    allow_misses: bool = False,
+    faults: "FaultPlan | None" = None,
+    code_epoch: str | None = None,
+) -> tuple[str, dict]:
+    """Content address of one (cell, seed) suite.
+
+    Returns ``(digest, payload)``: the SHA-256 hex digest used as the
+    cache key, and the canonical payload it hashes (embedded in the
+    entry for post-mortem inspection).
+    """
+    if code_epoch is None:
+        from repro import __version__ as code_epoch
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "code_epoch": str(code_epoch),
+        "workload_id": str(workload_id),
+        "x": float(x),
+        "seed": int(seed),
+        "policies": [str(name) for name in policies],
+        "horizon": float(horizon),
+        "overhead_aware": bool(overhead_aware),
+        "allow_misses": bool(allow_misses),
+        "faults": fault_plan_payload(faults),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return digest, payload
+
+
+class SuiteCache:
+    """Directory of content-addressed suite summaries.
+
+    ``get``/``put`` are the whole interface the sweep paths use; both
+    are safe under concurrent sweeps sharing a directory (entries are
+    immutable once written, writes are atomic renames, and two writers
+    racing on one key write identical bytes by construction).  The
+    ``hits``/``misses``/``writes`` counters make cache behaviour
+    assertable in tests and visible in benchmarks.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, digest: str) -> Path:
+        return self.directory / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> dict[str, PolicySummary] | None:
+        """The cached suite summaries for *digest*, or ``None``."""
+        path = self._path(digest)
+        try:
+            payload = json.loads(path.read_text())
+            suite = payload["suite"]
+            summaries = {
+                str(name): PolicySummary.from_payload(fields)
+                for name, fields in suite}
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, torn or foreign file: a miss, never an error —
+            # the suite is simply recomputed (and rewritten).
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summaries
+
+    def put(self, digest: str,
+            summaries: Mapping[str, PolicySummary],
+            key_payload: Mapping | None = None) -> None:
+        """Persist *summaries* under *digest*, atomically.
+
+        The policy order is stored as an explicit list of pairs — it is
+        the fold order :meth:`SweepCell.record_summaries` replays, so
+        it must survive serialisation exactly.
+        """
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": dict(key_payload) if key_payload is not None else None,
+            "suite": [[name, summary.to_payload()]
+                      for name, summary in summaries.items()],
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(entry))
+        tmp.replace(path)
+        self.writes += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.directory.glob("*/*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed

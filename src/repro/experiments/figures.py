@@ -71,6 +71,7 @@ def energy_vs_utilization(
     master_seed: int = 2002,
     quick: bool = False,
     workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> FigureData:
     """EXP-F1: normalized energy vs worst-case utilization."""
     if quick:
@@ -89,7 +90,9 @@ def energy_vs_utilization(
 
     cells = sweep(utilizations, workload, policies,
                   n_tasksets=n_tasksets, master_seed=master_seed,
-                  horizon=EXPERIMENT_HORIZON, workers=workers)
+                  horizon=EXPERIMENT_HORIZON, workers=workers,
+                  cache_dir=cache_dir,
+                  workload_id=f"EXP-F1:u:n={n_tasks}:bcwc={bcwc:g}")
     return _aggregate(figure, cells, policies)
 
 
@@ -104,6 +107,7 @@ def energy_vs_bcwc(
     master_seed: int = 2002,
     quick: bool = False,
     workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> FigureData:
     """EXP-F2: normalized energy vs bc/wc execution-time ratio."""
     if quick:
@@ -122,7 +126,9 @@ def energy_vs_bcwc(
 
     cells = sweep(ratios, workload, policies,
                   n_tasksets=n_tasksets, master_seed=master_seed,
-                  horizon=EXPERIMENT_HORIZON, workers=workers)
+                  horizon=EXPERIMENT_HORIZON, workers=workers,
+                  cache_dir=cache_dir,
+                  workload_id=f"EXP-F2:bcwc:n={n_tasks}:u={utilization:g}")
     return _aggregate(figure, cells, policies)
 
 
@@ -136,6 +142,7 @@ def energy_vs_ntasks(
     master_seed: int = 2002,
     quick: bool = False,
     workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> FigureData:
     """EXP-F3: normalized energy vs number of tasks."""
     if quick:
@@ -154,7 +161,9 @@ def energy_vs_ntasks(
 
     cells = sweep([float(n) for n in task_counts], workload, policies,
                   n_tasksets=n_tasksets, master_seed=master_seed,
-                  horizon=EXPERIMENT_HORIZON, workers=workers)
+                  horizon=EXPERIMENT_HORIZON, workers=workers,
+                  cache_dir=cache_dir,
+                  workload_id=f"EXP-F3:n:u={utilization:g}:bcwc={bcwc:g}")
     return _aggregate(figure, cells, policies)
 
 
@@ -169,6 +178,7 @@ def energy_vs_levels(
     master_seed: int = 2002,
     quick: bool = False,
     workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> FigureData:
     """EXP-F4: effect of discrete speed levels (0 = continuous)."""
     if quick:
@@ -193,7 +203,10 @@ def energy_vs_levels(
     cells = sweep([float(n) for n in level_counts], workload, policies,
                   n_tasksets=n_tasksets, master_seed=master_seed,
                   horizon=EXPERIMENT_HORIZON,
-                  processor_factory=processor_for, workers=workers)
+                  processor_factory=processor_for, workers=workers,
+                  cache_dir=cache_dir,
+                  workload_id=f"EXP-F4:levels:u={utilization:g}"
+                              f":bcwc={bcwc:g}:n={n_tasks}")
     return _aggregate(figure, cells, policies)
 
 
@@ -208,6 +221,7 @@ def overhead_sensitivity(
     master_seed: int = 2002,
     quick: bool = False,
     workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> FigureData:
     """EXP-F5: transition-overhead sensitivity (overhead-aware policies).
 
@@ -244,7 +258,10 @@ def overhead_sensitivity(
                   n_tasksets=n_tasksets, master_seed=master_seed,
                   horizon=EXPERIMENT_HORIZON,
                   processor_factory=processor_for,
-                  overhead_aware=True, workers=workers)
+                  overhead_aware=True, workers=workers,
+                  cache_dir=cache_dir,
+                  workload_id=f"EXP-F5:switch:u={utilization:g}"
+                              f":bcwc={bcwc:g}:n={n_tasks}")
     return _aggregate(figure, cells, policies)
 
 
@@ -718,6 +735,7 @@ def fault_matrix(
     checkpoint_dir: str | None = None,
     resume: bool = False,
     workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> FigureData:
     """EXP-FM1: miss rate and governor interventions vs overrun severity.
 
@@ -765,19 +783,26 @@ def fault_matrix(
             name, governed=True, governor_margin=max(1.0, float(x)))
 
     base_dir = Path(checkpoint_dir) if checkpoint_dir else None
+    # The raw and governed sweeps differ only in policy_factory, which
+    # the cache fingerprint cannot see — the workload id must carry
+    # the distinction (and every other closure parameter).
+    id_stem = (f"EXP-FM1:u={utilization:g}:n={n_tasks}:bcwc={bcwc:g}"
+               f":p={overrun_probability:g}")
     raw_cells = sweep(
         factors, workload, policies,
         n_tasksets=n_tasksets, master_seed=master_seed, horizon=horizon,
         allow_misses=True, faults_factory=plan_for,
         checkpoint_dir=(base_dir / "raw" if base_dir else None),
-        resume=resume, workers=workers)
+        resume=resume, workers=workers, cache_dir=cache_dir,
+        workload_id=f"{id_stem}:raw")
     governed_cells = sweep(
         factors, workload, policies,
         n_tasksets=n_tasksets, master_seed=master_seed, horizon=horizon,
         allow_misses=True, faults_factory=plan_for,
         policy_factory=governed_factory,
         checkpoint_dir=(base_dir / "governed" if base_dir else None),
-        resume=resume, workers=workers)
+        resume=resume, workers=workers, cache_dir=cache_dir,
+        workload_id=f"{id_stem}:governed")
 
     raw_misses_total = 0
     governed_misses_total = 0

@@ -1,54 +1,86 @@
-"""Process-parallel sweep execution.
+"""Process-parallel sweep execution: chunked dispatch on a warm pool.
 
 :func:`repro.experiments.runner.sweep` delegates here when asked for
-``workers > 1``.  The unit of parallel work is one **(cell, seed)
-suite** — the same granularity the serial loop iterates — dispatched
-to a pool of forked worker processes; the parent re-assembles each
-:class:`~repro.experiments.runner.SweepCell` by folding suite results
-in seed order, so a parallel sweep is **byte-identical** to a serial
-one (cells are pure functions of their seeds, and the aggregation
-order is preserved).
+``workers > 1``.  The unit of work is one **(cell, seed) suite** — the
+same granularity the serial loop iterates — but units are dispatched in
+**chunks** (contiguous runs of units, auto-sized so each worker sees a
+few chunks; ``chunk_size=`` overrides) so one pool submit amortises the
+pickle/IPC and scheduling cost over many ~70 ms suites instead of
+paying it per suite.  Workers return compact
+:class:`~repro.experiments.cache.PolicySummary` maps rather than full
+simulation results, keeping the return pickle small.  The parent
+consumes chunks **out of order** (``as_completed`` semantics) and folds
+each cell the moment its last seed lands — always in seed order
+*within* the cell — so cells, and any checkpoints written, stay
+**byte-identical** to a serial run while a slow unit no longer
+head-of-line-blocks folding and checkpointing of everything behind it.
 
 Why ``fork`` and a module global instead of pickling the workload:
 experiment drivers pass *closures* (``make_workload``,
 ``processor_factory``, ``policy_factory``, ``faults_factory``) that
 capture figure parameters and cannot be pickled.  Forked children
 inherit the parent's address space, so the parent publishes the sweep
-spec in :data:`_SPEC` immediately before creating the pool and the
-workers read it for free.  On platforms without ``fork`` (Windows,
-macOS spawn default) :func:`fork_available` returns ``False`` and the
-caller falls back to the serial path — results are identical either
-way.
+spec in :data:`_SPEC` before the pool forks and the workers read it
+for free.  On platforms without ``fork`` (Windows, macOS spawn
+default) :func:`fork_available` returns ``False`` and the caller falls
+back to the serial path — results are identical either way.
 
-Failure semantics match the serial loop: results are consumed in
-submission order (index-major, then seed order), so the first failure
-surfaced is the lowest-ordered failing unit, wrapped by
+The pool itself is **warm**: a process-wide :class:`WorkerPool`
+created on first use and reused across the multiple ``sweep()`` calls
+a figure driver makes, instead of forking a fresh pool per sweep.
+Reuse is only sound while the published spec is unchanged — forked
+workers snapshot :data:`_SPEC` at fork time — so :meth:`WorkerPool.
+acquire` compares a value token of the requested spec against the one
+the pool was forked with and explicitly invalidates (shuts down and
+re-forks) on any mismatch.
+
+Failure semantics match the serial loop even under out-of-order
+consumption: workers report per-unit failures as values (stopping
+their chunk at the first one), the parent keeps draining chunks that
+could still contain a **lower-ordered** failure, cancels the rest, and
+finally shuts the pool down (``cancel_futures=True``) and re-raises
+the failure of the lowest-ordered failing unit — the exact unit a
+serial sweep would have died on, wrapped by
 :func:`~repro.experiments.runner.run_suite` in a
 :class:`~repro.errors.SuiteExecutionError` that names the policy,
 workload seed and horizon and survives the process boundary.  Cells
-fully completed before the failing unit are already checkpointed —
-exactly the state a killed serial sweep leaves behind.  Retries run
+fully folded before the failure is surfaced are already checkpointed —
+at least the state a killed serial sweep leaves behind.  Retries run
 *inside* the worker at (cell, seed) granularity with the same
 exponential backoff as the serial per-cell retry.
 """
 
 from __future__ import annotations
 
+import atexit
+import math
 import multiprocessing as mp
 import os
 import time as _time
-from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Any
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.cpu.profiles import ideal_processor
 
 if TYPE_CHECKING:
+    from repro.experiments.cache import PolicySummary, SuiteCache
     from repro.experiments.runner import SweepCell, SweepCheckpointer
 
-#: Sweep spec published by the parent just before the pool forks;
-#: inherited read-only by the workers.  Holds the (unpicklable)
-#: workload closures plus the scalar run parameters.
+#: Sweep spec published by the parent before the pool forks; inherited
+#: read-only by the workers.  Holds the (unpicklable) workload closures
+#: plus the scalar run parameters.  Stays published for the lifetime of
+#: the warm pool: the executor forks workers lazily on submit, so a
+#: late-forked worker must still see the spec its pool was built for.
 _SPEC: dict[str, Any] | None = None
+
+#: Auto-sizing target: chunks per worker.  2 balances amortisation (few
+#: submits) against straggler rebalancing (a worker that finishes its
+#: first chunk early picks up another instead of idling).
+_CHUNKS_PER_WORKER = 2
 
 
 def fork_available() -> bool:
@@ -57,18 +89,122 @@ def fork_available() -> bool:
 
 
 def default_workers() -> int:
-    """Default worker count: one per available CPU."""
+    """Default worker count: one per CPU *this process may run on*.
+
+    Containerised CI typically pins the process to a subset of the
+    host's CPUs; ``os.cpu_count()`` reports the host and oversubscribes
+    the cgroup, so the scheduling affinity mask is consulted first.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic kernels only
+            pass
     return os.cpu_count() or 1
 
 
-def _run_unit(unit: tuple[int, float, int]) -> Any:
-    """One (cell, seed) suite, executed inside a forked worker."""
+def plan_chunks(n_units: int, workers: int,
+                chunk_size: int | None = None) -> list[tuple[int, int]]:
+    """Split ``range(n_units)`` into contiguous ``(start, stop)`` chunks.
+
+    Auto-sizing aims for :data:`_CHUNKS_PER_WORKER` chunks per worker;
+    an explicit *chunk_size* overrides it.  Chunks are contiguous in
+    unit order, which the failure path relies on: a chunk whose
+    ``start`` lies beyond the lowest known failing unit cannot contain
+    a lower-ordered failure and is safe to cancel.
+    """
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(
+            n_units / max(1, workers * _CHUNKS_PER_WORKER)))
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [(start, min(n_units, start + chunk_size))
+            for start in range(0, n_units, chunk_size)]
+
+
+def _spec_token(spec: dict[str, Any]) -> tuple:
+    """A comparable value token of a sweep spec.
+
+    Scalars compare by value; closures and other rich objects compare
+    by identity — the pool keeps a strong reference to its spec, so a
+    matching ``id`` genuinely means the same live object, never a
+    recycled address.
+    """
+    def token(value: Any) -> tuple:
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return ("value", value)
+        if isinstance(value, (list, tuple)):
+            return ("seq", tuple(token(item) for item in value))
+        return ("object", id(value))
+
+    return tuple(sorted((key, token(value)) for key, value in spec.items()))
+
+
+class WorkerPool:
+    """The process-wide warm pool of forked sweep workers.
+
+    Created on first :meth:`acquire` and reused across ``sweep()``
+    calls whose spec token and worker count match; any mismatch — a
+    different workload closure, policy list, horizon, worker count —
+    explicitly invalidates the pool (shutdown + fresh fork), because
+    already-forked workers hold a stale snapshot of :data:`_SPEC`.
+    """
+
+    _instance: "WorkerPool | None" = None
+
+    def __init__(self, workers: int, token: tuple,
+                 spec: dict[str, Any]) -> None:
+        global _SPEC
+        # Publish before constructing the executor: workers fork lazily
+        # on submit, but never before this point.
+        _SPEC = spec
+        self.workers = workers
+        self.token = token
+        self.spec = spec  # strong ref keeps the token's ids unambiguous
+        self.executor = ProcessPoolExecutor(
+            max_workers=workers, mp_context=mp.get_context("fork"))
+
+    @classmethod
+    def acquire(cls, workers: int, spec: dict[str, Any]) -> "WorkerPool":
+        token = _spec_token(spec)
+        pool = cls._instance
+        if (pool is not None and pool.workers == workers
+                and pool.token == token):
+            return pool
+        if pool is not None:
+            pool.shutdown()
+        pool = cls(workers, token, spec)
+        cls._instance = pool
+        return pool
+
+    @classmethod
+    def current(cls) -> "WorkerPool | None":
+        return cls._instance
+
+    def shutdown(self, *, cancel_futures: bool = False) -> None:
+        global _SPEC
+        if WorkerPool._instance is self:
+            WorkerPool._instance = None
+            _SPEC = None
+        self.executor.shutdown(wait=False, cancel_futures=cancel_futures)
+
+
+def shutdown_pool() -> None:
+    """Explicitly invalidate the warm pool (tests, benchmarks, atexit)."""
+    pool = WorkerPool._instance
+    if pool is not None:
+        pool.shutdown()
+
+
+atexit.register(shutdown_pool)
+
+
+def _suite_summaries(spec: dict[str, Any], x: float,
+                     seed: int) -> "dict[str, PolicySummary]":
+    """One (cell, seed) suite under *spec*, with in-worker retries."""
     from repro.experiments.runner import run_suite
 
-    index, x, seed = unit
-    spec = _SPEC
-    if spec is None:  # pragma: no cover - guards misuse, not a code path
-        raise RuntimeError("worker forked before the sweep spec was set")
     processor_factory = spec["processor_factory"]
     policy_factory = spec["policy_factory"]
     faults_factory = spec["faults_factory"]
@@ -78,7 +214,7 @@ def _run_unit(unit: tuple[int, float, int]) -> Any:
             taskset, model = spec["make_workload"](x, seed)
             processor = (processor_factory(x) if processor_factory
                          else ideal_processor())
-            return run_suite(
+            suite = run_suite(
                 taskset, spec["policy_names"], processor, model,
                 horizon=spec["horizon"],
                 overhead_aware=spec["overhead_aware"],
@@ -88,11 +224,38 @@ def _run_unit(unit: tuple[int, float, int]) -> Any:
                 faults=(faults_factory(x, seed)
                         if faults_factory else None),
                 workload_seed=seed)
+            return suite.policy_summaries()
         except Exception:
             if attempt >= spec["max_retries"]:
                 raise
             _time.sleep(spec["retry_backoff"] * (2.0 ** attempt))
             attempt += 1
+
+
+def _run_chunk(
+    chunk: list[tuple[int, int, float, int, int]],
+) -> list[tuple[int, Any, Exception | None]]:
+    """Run one chunk of ``(pos, index, x, seed_pos, seed)`` units.
+
+    Executed inside a forked worker.  Returns ``(pos, summaries,
+    error)`` outcomes in unit order; a unit that still fails after its
+    in-worker retries is reported as a *value* (so the parent can pick
+    the lowest-ordered failure across all chunks) and ends the chunk —
+    a serial sweep would not have run anything after its first failure
+    either.
+    """
+    spec = _SPEC
+    if spec is None:  # pragma: no cover - guards misuse, not a code path
+        raise RuntimeError("worker forked before the sweep spec was set")
+    outcomes: list[tuple[int, Any, Exception | None]] = []
+    for pos, _index, x, _seed_pos, seed in chunk:
+        try:
+            summaries = _suite_summaries(spec, x, seed)
+        except Exception as exc:
+            outcomes.append((pos, None, exc))
+            break
+        outcomes.append((pos, summaries, None))
+    return outcomes
 
 
 #: Thunk table for :func:`map_forked`, inherited by forked workers.
@@ -114,15 +277,22 @@ def map_forked(calls: "list[Any]", workers: int) -> list[Any]:
     independent computations fanned out.  Results come back in call
     order; the first failing call's exception propagates.  Falls back
     to a serial loop when forking is unavailable or ``workers <= 1``.
+    The call table is published and cleared in a shape that cannot
+    leak :data:`_CALLS` even when constructing the pool itself raises
+    (e.g. fork failure under memory pressure).
     """
     if workers <= 1 or len(calls) <= 1 or not fork_available():
         return [call() for call in calls]
     global _CALLS
     _CALLS = calls
     try:
-        ctx = mp.get_context("fork")
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=ctx) as pool:
+        pool = ProcessPoolExecutor(max_workers=workers,
+                                   mp_context=mp.get_context("fork"))
+    except BaseException:
+        _CALLS = None
+        raise
+    try:
+        with pool:
             futures = [pool.submit(_call_indexed, i)
                        for i in range(len(calls))]
             return [future.result() for future in futures]
@@ -137,47 +307,106 @@ def run_cells(
     spec: dict[str, Any],
     workers: int,
     checkpointer: "SweepCheckpointer | None" = None,
+    cache: "SuiteCache | None" = None,
+    unit_key: "Callable[[float, int], str] | None" = None,
+    chunk_size: int | None = None,
 ) -> "dict[int, SweepCell]":
-    """Compute the *pending* (index, x) cells on a forked worker pool.
+    """Compute the *pending* (index, x) cells on the warm worker pool.
 
     Returns ``{index: SweepCell}`` with each cell's suites folded in
     seed order — the exact aggregation the serial loop performs — and
     checkpoints every completed cell through *checkpointer* as soon as
-    its last seed finishes.
+    its last seed lands, regardless of what order chunks complete in.
+
+    With *cache* (and its *unit_key* fingerprint function) set, every
+    unit is looked up before dispatch — hits fold directly in the
+    parent, only misses are chunked out to workers, and every computed
+    summary is persisted the moment it lands.  A fully cached sweep
+    never touches the pool at all.
     """
     from repro.experiments.runner import SweepCell
 
-    global _SPEC
-    units = [(index, x, seed) for index, x in pending for seed in seeds]
-    cells: dict[int, SweepCell] = {}
-    suites: dict[int, dict[int, Any]] = {index: {} for index, _ in pending}
     xs = dict(pending)
-    _SPEC = spec
-    try:
-        ctx = mp.get_context("fork")
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=ctx) as pool:
-            futures = [(unit, pool.submit(_run_unit, unit))
-                       for unit in units]
-            for pos, ((index, _x, _seed), future) in enumerate(futures):
-                try:
-                    suite = future.result()
-                except Exception:
-                    for _, later in futures[pos + 1:]:
-                        later.cancel()
-                    raise
-                # Key by seed *position*: taskset_seeds could in
-                # principle repeat a seed value, and position is what
-                # the serial aggregation order is defined over.
-                suites[index][pos % len(seeds)] = suite
+    suites: dict[int, dict[int, Any]] = {index: {} for index, _ in pending}
+    cells: dict[int, SweepCell] = {}
+
+    def fold(index: int) -> None:
+        per_cell = suites.pop(index)
+        cell = SweepCell(x=float(xs[index]))
+        for seed_pos in range(len(seeds)):
+            cell.record_summaries(per_cell[seed_pos])
+        if checkpointer is not None:
+            checkpointer.store(index, cell)
+        cells[index] = cell
+
+    # Consult the cache before dispatch; positions number only the
+    # units that actually need computing, in index-major seed order —
+    # the order a serial (cache-consulting) sweep would hit them.
+    units: list[tuple[int, int, float, int, int]] = []
+    keys: list[str | None] = []
+    for index, x in pending:
+        for seed_pos, seed in enumerate(seeds):
+            summaries = None
+            key = None
+            if cache is not None and unit_key is not None:
+                key = unit_key(x, seed)
+                summaries = cache.get(key)
+            if summaries is not None:
+                suites[index][seed_pos] = summaries
+            else:
+                units.append((len(units), index, x, seed_pos, seed))
+                keys.append(key)
+    for index, _x in pending:
+        if index in suites and len(suites[index]) == len(seeds):
+            fold(index)
+    if not units:
+        return cells
+
+    pool = WorkerPool.acquire(workers, spec)
+    chunk_futures = {
+        pool.executor.submit(_run_chunk, units[start:stop]): (start, stop)
+        for start, stop in plan_chunks(len(units), workers, chunk_size)}
+    not_done = set(chunk_futures)
+    best_err: tuple[int, BaseException] | None = None
+    while not_done:
+        done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+        for future in done:
+            start, _stop = chunk_futures[future]
+            try:
+                outcomes = future.result()
+            except BaseException as exc:
+                # Infrastructure failure (worker killed, broken pool):
+                # attribute it to the chunk's first unit.
+                if best_err is None or start < best_err[0]:
+                    best_err = (start, exc)
+                continue
+            for pos, summaries, err in outcomes:
+                if err is not None:
+                    if best_err is None or pos < best_err[0]:
+                        best_err = (pos, err)
+                    break
+                if best_err is not None and pos > best_err[0]:
+                    # Beyond the failure point: a serial sweep would
+                    # never have run this unit; drop the result.
+                    continue
+                _, index, _x, seed_pos, _seed = units[pos]
+                if cache is not None and keys[pos] is not None:
+                    cache.put(keys[pos], summaries)
+                suites[index][seed_pos] = summaries
                 if len(suites[index]) == len(seeds):
-                    per_cell = suites.pop(index)
-                    cell = SweepCell(x=float(xs[index]))
-                    for seed_pos in range(len(seeds)):
-                        cell.record(per_cell[seed_pos])
-                    if checkpointer is not None:
-                        checkpointer.store(index, cell)
-                    cells[index] = cell
-    finally:
-        _SPEC = None
+                    fold(index)
+        if best_err is not None:
+            # Chunks starting beyond the lowest known failure cannot
+            # lower it: cancel what has not started, keep draining the
+            # rest (a still-running earlier chunk may fail lower).
+            for future in list(not_done):
+                start, _stop = chunk_futures[future]
+                if start > best_err[0] and future.cancel():
+                    not_done.discard(future)
+    if best_err is not None:
+        # Cancelling futures never stops already-running workers; the
+        # pool itself is shut down (and the warm singleton dropped) so
+        # no stale worker outlives the failed sweep.
+        pool.shutdown(cancel_futures=True)
+        raise best_err[1]
     return cells

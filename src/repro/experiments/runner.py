@@ -25,6 +25,11 @@ import numpy as np
 from repro.cpu.processor import Processor
 from repro.cpu.profiles import ideal_processor
 from repro.errors import ExperimentError, SuiteExecutionError
+from repro.experiments.cache import (
+    PolicySummary,
+    SuiteCache,
+    suite_fingerprint,
+)
 from repro.experiments.config import EXPERIMENT_PERIOD_CHOICES
 from repro.faults import FaultPlan
 from repro.policies.base import DvsPolicy
@@ -58,6 +63,27 @@ class SuiteResult:
 
     def miss_count(self, policy: str) -> int:
         return len(self._lookup(policy).deadline_misses)
+
+    def policy_summaries(self) -> dict[str, PolicySummary]:
+        """The per-policy aggregates a sweep folds (and caches).
+
+        Exactly the projection :meth:`SweepCell.record_summaries`
+        consumes, in the suite's policy order — compact enough to ship
+        over worker IPC and persist in the suite cache, rich enough
+        that folding it is byte-identical to folding the full suite.
+        """
+        summaries: dict[str, PolicySummary] = {}
+        for name, result in self.results.items():
+            metrics = result.policy_metrics
+            summaries[name] = PolicySummary(
+                normalized=result.normalized_energy(self.baseline),
+                misses=len(result.deadline_misses),
+                switches=result.switch_count,
+                overruns=result.overrun_jobs,
+                released=result.jobs_released,
+                interventions=int(metrics.get("interventions", 0)),
+                dispatches=int(metrics.get("dispatches", 0)))
+        return summaries
 
 
 def run_suite(
@@ -120,23 +146,30 @@ class SweepCell:
     released: dict[str, int] = field(default_factory=dict)
 
     def record(self, suite: SuiteResult) -> None:
-        for name, result in suite.results.items():
+        self.record_summaries(suite.policy_summaries())
+
+    def record_summaries(
+            self, summaries: dict[str, PolicySummary]) -> None:
+        """Fold one suite's per-policy summaries into the cell.
+
+        The single aggregation path shared by the serial loop, the
+        parallel executor's out-of-order folding and cache-hit
+        replays — which is what makes all three byte-identical.
+        """
+        for name, summary in summaries.items():
             self.normalized.setdefault(name, []).append(
-                suite.normalized(name))
+                summary.normalized)
             self.misses[name] = (self.misses.get(name, 0)
-                                 + len(result.deadline_misses))
-            self.switches.setdefault(name, []).append(result.switch_count)
+                                 + summary.misses)
+            self.switches.setdefault(name, []).append(summary.switches)
             self.overruns[name] = (self.overruns.get(name, 0)
-                                   + result.overrun_jobs)
+                                   + summary.overruns)
             self.released[name] = (self.released.get(name, 0)
-                                   + result.jobs_released)
-            metrics = result.policy_metrics
+                                   + summary.released)
             self.interventions[name] = (
-                self.interventions.get(name, 0)
-                + int(metrics.get("interventions", 0)))
+                self.interventions.get(name, 0) + summary.interventions)
             self.dispatches[name] = (
-                self.dispatches.get(name, 0)
-                + int(metrics.get("dispatches", 0)))
+                self.dispatches.get(name, 0) + summary.dispatches)
 
     # -- checkpoint (de)serialisation ----------------------------------
 
@@ -256,6 +289,9 @@ def sweep(
     max_retries: int = 0,
     retry_backoff: float = 0.25,
     workers: int = 1,
+    chunk_size: int | None = None,
+    cache_dir: str | Path | None = None,
+    workload_id: str | None = None,
 ) -> list[SweepCell]:
     """The generic experiment sweep.
 
@@ -276,11 +312,25 @@ def sweep(
     to *max_retries* times with exponential backoff before the failure
     propagates.
 
-    ``workers > 1`` fans the (cell, seed) units out over that many
-    forked worker processes (see :mod:`repro.experiments.parallel`);
-    aggregation order is preserved, so the cells — and any checkpoints
-    written — are byte-identical to a ``workers=1`` run.  On platforms
-    without ``fork`` the sweep silently runs serially.
+    ``workers > 1`` fans the (cell, seed) units out in chunks over a
+    warm pool of that many forked worker processes (see
+    :mod:`repro.experiments.parallel`); *chunk_size* overrides the
+    auto-sized units-per-submit.  Aggregation order is preserved, so
+    the cells — and any checkpoints written — are byte-identical to a
+    ``workers=1`` run.  On platforms without ``fork`` the sweep
+    silently runs serially.
+
+    With *cache_dir* set, every completed (cell, seed) suite is also
+    persisted in a content-addressed
+    :class:`~repro.experiments.cache.SuiteCache` and consulted before
+    any simulation runs — in the serial path and before parallel
+    dispatch alike — so re-runs (and other sweeps sharing cells)
+    replay hits instead of re-simulating, byte-identically.  The
+    mandatory *workload_id* names the workload closure in the cache
+    fingerprint: it MUST encode every parameter that changes
+    *make_workload*, *processor_factory* or *policy_factory* beyond
+    the keyed scalars (x, seed, policies, horizon, flags, faults),
+    because closures themselves cannot be fingerprinted.
     """
     if not xs:
         raise ExperimentError("sweep needs at least one x value")
@@ -289,6 +339,29 @@ def sweep(
             f"max_retries must be >= 0, got {max_retries}")
     if workers < 1:
         raise ExperimentError(f"workers must be >= 1, got {workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ExperimentError(
+            f"chunk_size must be >= 1, got {chunk_size}")
+    cache = None
+    unit_key = None
+    if cache_dir is not None:
+        if workload_id is None:
+            raise ExperimentError(
+                "cache_dir needs a workload_id naming the workload "
+                "closure (and any parameterisation beyond the keyed "
+                "scalars); refusing to cache unidentifiable suites")
+        cache = SuiteCache(cache_dir)
+
+        def unit_key(x: float, seed: int) -> str:
+            digest, _ = suite_fingerprint(
+                workload_id=workload_id, x=float(x), seed=seed,
+                policies=list(policy_names), horizon=float(horizon),
+                overhead_aware=overhead_aware,
+                allow_misses=allow_misses,
+                faults=(faults_factory(float(x), seed)
+                        if faults_factory else None))
+            return digest
+
     checkpointer = None
     if checkpoint_dir is not None:
         fingerprint = {
@@ -304,20 +377,26 @@ def sweep(
     def compute_cell(index: int, x: float) -> SweepCell:
         cell = SweepCell(x=float(x))
         for seed in taskset_seeds(master_seed, n_tasksets):
-            taskset, model = make_workload(float(x), seed)
-            processor = (processor_factory(float(x))
-                         if processor_factory else ideal_processor())
-            suite = run_suite(
-                taskset, policy_names, processor, model,
-                horizon=horizon,
-                overhead_aware=overhead_aware,
-                allow_misses=allow_misses,
-                policy_factory=(policy_factory(float(x))
-                                if policy_factory else None),
-                faults=(faults_factory(float(x), seed)
-                        if faults_factory else None),
-                workload_seed=seed)
-            cell.record(suite)
+            key = unit_key(float(x), seed) if cache is not None else None
+            summaries = cache.get(key) if cache is not None else None
+            if summaries is None:
+                taskset, model = make_workload(float(x), seed)
+                processor = (processor_factory(float(x))
+                             if processor_factory else ideal_processor())
+                suite = run_suite(
+                    taskset, policy_names, processor, model,
+                    horizon=horizon,
+                    overhead_aware=overhead_aware,
+                    allow_misses=allow_misses,
+                    policy_factory=(policy_factory(float(x))
+                                    if policy_factory else None),
+                    faults=(faults_factory(float(x), seed)
+                            if faults_factory else None),
+                    workload_seed=seed)
+                summaries = suite.policy_summaries()
+                if cache is not None:
+                    cache.put(key, summaries)
+            cell.record_summaries(summaries)
         return cell
 
     if workers > 1:
@@ -347,7 +426,9 @@ def sweep(
                         "max_retries": max_retries,
                         "retry_backoff": retry_backoff,
                     },
-                    workers=workers, checkpointer=checkpointer))
+                    workers=workers, checkpointer=checkpointer,
+                    cache=cache, unit_key=unit_key,
+                    chunk_size=chunk_size))
             return [by_index[index] for index in range(len(xs))]
 
     cells = []

@@ -2,19 +2,29 @@
 
 The contract under test (DESIGN.md §8): ``sweep(..., workers=N)``
 produces cells whose ``to_payload()`` JSON is **byte-identical** to the
-serial run — including under fault injection, and when resuming from a
-partially-filled checkpoint directory — and failures surface as the
-same :class:`~repro.errors.SuiteExecutionError` with cell context.
+serial run — for every chunk size, including under fault injection and
+when resuming from a partially-filled checkpoint directory — the warm
+pool is reused across sweeps of the same spec and invalidated on
+change, and failures surface as the *lowest-ordered* failing unit even
+under out-of-order chunk completion, exactly as the serial loop would.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import time
 
 import pytest
 
 from repro.errors import SuiteExecutionError
-from repro.experiments.parallel import fork_available, map_forked
+from repro.experiments import parallel
+from repro.experiments.parallel import (
+    default_workers,
+    fork_available,
+    map_forked,
+    plan_chunks,
+)
 from repro.experiments.runner import bcwc_model, standard_taskset, sweep
 from repro.faults import FaultPlan, OverrunFault
 
@@ -41,6 +51,16 @@ class TestByteIdentical:
         parallel = sweep(xs, workload, POLICIES, n_tasksets=2,
                          horizon=HORIZON, workers=4)
         assert payloads(parallel) == payloads(serial)
+
+    @pytest.mark.parametrize("chunk_size", (1, 2, 5, 100))
+    def test_matches_serial_for_every_chunk_size(self, chunk_size):
+        xs = (0.4, 0.7, 0.9)
+        serial = sweep(xs, workload, POLICIES, n_tasksets=2,
+                       horizon=HORIZON)
+        chunked = sweep(xs, workload, POLICIES, n_tasksets=2,
+                        horizon=HORIZON, workers=3,
+                        chunk_size=chunk_size)
+        assert payloads(chunked) == payloads(serial)
 
     def test_matches_serial_under_faults(self):
         # x is the overrun factor here (as in EXP-FM1), not the
@@ -115,6 +135,37 @@ class TestFailures:
         # In-order consumption surfaces the same first failure.
         assert str(parallel_exc.value) == str(serial_exc.value)
 
+    def test_lowest_ordered_failure_wins_out_of_order(self):
+        # Every unit fails: the first cell's units fail *slowly*, the
+        # second cell's fail instantly.  With chunk_size=1 on 4 workers
+        # the later-ordered failures land first — the executor must
+        # still surface the failure of the lowest-ordered unit, i.e.
+        # exactly the one the serial loop dies on.
+        def doomed_workload(u: float, seed: int):
+            if u < 0.5:
+                time.sleep(0.2)
+            raise ValueError(f"boom u={u:g} seed={seed}")
+
+        xs = (0.4, 0.7)
+        kwargs = dict(n_tasksets=2, horizon=HORIZON)
+        with pytest.raises(ValueError) as serial_exc:
+            sweep(xs, doomed_workload, POLICIES, **kwargs)
+        with pytest.raises(ValueError) as parallel_exc:
+            sweep(xs, doomed_workload, POLICIES, workers=4,
+                  chunk_size=1, **kwargs)
+        assert str(parallel_exc.value) == str(serial_exc.value)
+        assert "u=0.4" in str(parallel_exc.value)
+
+    def test_failure_shuts_down_the_warm_pool(self):
+        def doomed_workload(u: float, seed: int):
+            raise ValueError("dead on arrival")
+
+        with pytest.raises(ValueError):
+            sweep((0.5,), doomed_workload, POLICIES, n_tasksets=2,
+                  horizon=HORIZON, workers=2)
+        # No stale worker outlives a failed sweep.
+        assert parallel.WorkerPool.current() is None
+
     def test_worker_retry_cures_transient_failure(self):
         xs = (0.5, 0.7)
         reference = sweep(xs, workload, POLICIES, n_tasksets=2,
@@ -131,6 +182,81 @@ class TestFailures:
                       horizon=HORIZON, workers=4, max_retries=1,
                       retry_backoff=0.01)
         assert payloads(cells) == payloads(reference)
+
+
+class TestWarmPool:
+    def test_pool_reused_across_consecutive_sweeps(self):
+        parallel.shutdown_pool()
+        xs = (0.4, 0.7)
+        kwargs = dict(n_tasksets=2, horizon=HORIZON, workers=2)
+        first = sweep(xs, workload, POLICIES, **kwargs)
+        pool = parallel.WorkerPool.current()
+        assert pool is not None
+        second = sweep(xs, workload, POLICIES, **kwargs)
+        # Same spec → same pool instance (and the same executor).
+        assert parallel.WorkerPool.current() is pool
+        assert parallel.WorkerPool.current().executor is pool.executor
+        assert payloads(second) == payloads(first)
+        parallel.shutdown_pool()
+
+    def test_pool_invalidated_when_spec_changes(self):
+        parallel.shutdown_pool()
+        kwargs = dict(n_tasksets=2, workers=2)
+        sweep((0.5,), workload, POLICIES, horizon=HORIZON, **kwargs)
+        pool = parallel.WorkerPool.current()
+        assert pool is not None
+        # A different horizon is a different published spec: the stale
+        # pool (whose forked children inherited the old one) must go.
+        sweep((0.5,), workload, POLICIES, horizon=HORIZON / 2, **kwargs)
+        fresh = parallel.WorkerPool.current()
+        assert fresh is not None and fresh is not pool
+        parallel.shutdown_pool()
+
+    def test_pool_invalidated_when_workers_change(self):
+        parallel.shutdown_pool()
+        kwargs = dict(n_tasksets=2, horizon=HORIZON)
+        sweep((0.5,), workload, POLICIES, workers=2, **kwargs)
+        pool = parallel.WorkerPool.current()
+        sweep((0.5,), workload, POLICIES, workers=3, **kwargs)
+        assert parallel.WorkerPool.current() is not pool
+        parallel.shutdown_pool()
+
+
+class TestChunkPlanning:
+    def test_contiguous_cover(self):
+        chunks = plan_chunks(10, workers=3)
+        assert chunks[0][0] == 0 and chunks[-1][1] == 10
+        for (_, stop), (start, _) in zip(chunks, chunks[1:]):
+            assert stop == start
+
+    def test_auto_size_targets_chunks_per_worker(self):
+        # 24 units on 4 workers → ceil(24 / (4*2)) = 3 per chunk.
+        chunks = plan_chunks(24, workers=4)
+        assert all(stop - start <= 3 for start, stop in chunks)
+        assert len(chunks) == 8
+
+    def test_explicit_chunk_size(self):
+        assert plan_chunks(5, workers=4, chunk_size=2) == [
+            (0, 2), (2, 4), (4, 5)]
+        assert plan_chunks(3, workers=4, chunk_size=100) == [(0, 3)]
+
+    def test_chunk_size_validation(self):
+        from repro.errors import ExperimentError
+        with pytest.raises(ExperimentError):
+            sweep((0.5,), workload, POLICIES, n_tasksets=1,
+                  horizon=HORIZON, workers=2, chunk_size=0)
+
+
+class TestDefaultWorkers:
+    def test_respects_cpu_affinity(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2}, raising=False)
+        assert default_workers() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        assert default_workers() == 7
 
 
 class TestMapForked:
