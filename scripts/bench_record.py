@@ -32,8 +32,14 @@ pool and the persistent suite cache:
 ``sweep_exp1_mini`` numbers, the mini sweep is re-timed and the check
 fails whenever ``parallel_speedup`` lands below ``--min-speedup``
 (default 1.0) — parallel-slower-than-serial is a regression, never
-something to record silently.  ``scripts/ci_fast.sh`` runs both guards
-on every fast loop.
+something to record silently.  ``--check`` also replays the
+``telemetry`` probe — one instrumented mini sweep that must produce a
+run manifest whose cache section matches the live counters.
+``scripts/ci_fast.sh`` runs all three guards on every fast loop.
+
+The ``telemetry`` block embeds the instrumented sweep's headline
+counters (engine/cache/sweep namespaces) in the record, so the bench
+history doubles as a coarse workload-shape history.
 """
 
 from __future__ import annotations
@@ -160,6 +166,47 @@ def run_sweep_timings(*, repeats: int = 2) -> dict[str, float]:
     return record
 
 
+def run_telemetry_probe() -> dict | None:
+    """One instrumented mini sweep: counters + manifest sanity.
+
+    Enables the telemetry registry around a single serial mini sweep,
+    embeds the headline counters in the bench record, and reports
+    whether the sweep produced a loadable run manifest whose cache
+    section matches the cache counters.  Runs *after* the timing
+    blocks so the enabled registry never pollutes a timed run, and
+    always resets/disables the process-global registry on the way out.
+    """
+    try:
+        from repro.telemetry import TELEMETRY, RunManifest
+    except ImportError:
+        return None  # telemetry not available in this revision
+    probe: dict = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        manifest_dir = Path(tmp) / "tele"
+        TELEMETRY.configure(enabled=True, manifest_dir=manifest_dir)
+        try:
+            probe["sweep_s"] = _sweep_once(None, cache_dir=tmp)
+            snap = TELEMETRY.snapshot()
+        finally:
+            TELEMETRY.configure(enabled=False)
+            TELEMETRY.reset()
+        counters = snap["counters"]
+        probe["counters"] = {
+            name: counters[name] for name in sorted(counters)
+            if name.split(".")[0] in
+            ("engine", "cache", "sweep", "governor")}
+        manifests = sorted(manifest_dir.glob("manifest_*.json"))
+        probe["manifest_written"] = bool(manifests)
+        if manifests:
+            manifest = RunManifest.load(manifests[-1])
+            probe["manifest_consistent"] = (
+                manifest.cache.get("misses") == counters.get(
+                    "cache.misses", 0)
+                and manifest.cache.get("writes") == counters.get(
+                    "cache.writes", 0))
+    return probe
+
+
 def build_record(*, skip_sweep: bool = False) -> dict:
     record = {
         "schema": 1,
@@ -170,6 +217,7 @@ def build_record(*, skip_sweep: bool = False) -> dict:
     }
     if not skip_sweep:
         record["sweep_exp1_mini"] = run_sweep_timings()
+        record["telemetry"] = run_telemetry_probe()
     return record
 
 
@@ -265,6 +313,19 @@ def main(argv: list[str] | None = None) -> int:
             if speedup is not None:
                 print(f"OK: sweep_exp1_mini.parallel_speedup = "
                       f"{speedup:.2f}x (>= {args.min_speedup:.2f}x)")
+        probe = run_telemetry_probe()
+        if probe is not None:
+            if not probe.get("manifest_written"):
+                print("FAIL: instrumented mini sweep wrote no run "
+                      "manifest", file=sys.stderr)
+                return 1
+            if not probe.get("manifest_consistent"):
+                print("FAIL: run manifest cache section disagrees with "
+                      "the telemetry counters", file=sys.stderr)
+                return 1
+            steps = probe["counters"].get("engine.steps", 0)
+            print(f"OK: telemetry probe — manifest written and "
+                  f"consistent ({steps} engine steps counted)")
         return 0
 
     if args.out:
@@ -294,6 +355,12 @@ def main(argv: list[str] | None = None) -> int:
                   f"  warm {sweep['cache_warm_s']:.3f}s "
                   f"({sweep['cache_speedup']:.1f}x)")
         warn_if_parallel_regressed(record)
+    if record.get("telemetry"):
+        probe = record["telemetry"]
+        state = ("manifest ok" if probe.get("manifest_consistent")
+                 else "MANIFEST INCONSISTENT")
+        print(f"  {'telemetry':<18} instrumented sweep "
+              f"{probe['sweep_s']:.2f}s  {state}")
 
     if args.compare:
         baseline = json.loads(Path(args.compare).read_text())

@@ -6,8 +6,10 @@
 #   scripts/ci_fast.sh            # tests + determinism + perf guards
 #
 # The perf guard fails when the engine_step mean degrades more than
-# 25% against the recorded trajectory, or when the mini-sweep
-# parallel_speedup falls below 1.0 (scripts/bench_record.py --check).
+# 25% against the recorded trajectory, when the mini-sweep
+# parallel_speedup falls below 1.0, or when the instrumented mini
+# sweep fails to produce a consistent run manifest
+# (scripts/bench_record.py --check).
 # The full tier-1 gate remains `PYTHONPATH=src python -m pytest -x -q`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,6 +20,10 @@ PYTHONPATH=src python -m pytest -x -q -m "not slow"
 # suite cache, explicitly — the guard the parallel layer lives under.
 PYTHONPATH=src python -m pytest -x -q \
     tests/test_parallel_sweep.py tests/test_cell_cache.py
+
+# The telemetry layer's own contracts: disabled-path overhead guard,
+# serial-equals-parallel merge, manifest consistency.
+PYTHONPATH=src python -m pytest -x -q -m telemetry
 
 latest=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
 if [[ -z "${latest}" ]]; then

@@ -18,12 +18,16 @@ Commands
 ``diff``
     Compare two exported result sets cell by cell (regression check;
     exits non-zero when anything drifted).
+``stats``
+    Render a telemetry run manifest (written by ``run
+    --telemetry-dir``) as an ASCII audit report.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import os
 import sys
 import time
@@ -71,6 +75,8 @@ def _call_driver(driver, args: argparse.Namespace):
     if (getattr(args, "cache_dir", None)
             and not getattr(args, "no_cache", False)):
         offered["cache_dir"] = args.cache_dir
+    if getattr(args, "policies", None):
+        offered["policies"] = args.policies
     params = inspect.signature(driver).parameters
     accepted = {k: v for k, v in offered.items() if k in params}
     dropped = set(offered) - set(accepted) - {"quick"}
@@ -80,12 +86,41 @@ def _call_driver(driver, args: argparse.Namespace):
     return driver(**accepted)
 
 
+def _parse_policy_list(spec: str | None) -> tuple[str, ...] | None:
+    """Validate a ``--policy`` list against the registry, up front.
+
+    Raises :class:`ConfigurationError` naming the unknown entries and
+    the known policies, so ``repro run`` fails before any simulation
+    rather than mid-sweep.
+    """
+    if spec is None:
+        return None
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ALL_POLICY_NAMES]
+    if not names or unknown:
+        raise ConfigurationError(
+            f"unknown policy {', '.join(unknown) or spec!r}; "
+            f"known: {', '.join(ALL_POLICY_NAMES)}")
+    return tuple(names)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = list(TABLES) + list(FIGURES) if args.experiment == "all" \
         else [args.experiment]
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    try:
+        args.policies = _parse_policy_list(args.policy)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.telemetry_dir or args.metrics_json:
+        from repro.telemetry import TELEMETRY
+        events = (Path(args.telemetry_dir) / "events.jsonl"
+                  if args.telemetry_dir else None)
+        TELEMETRY.configure(enabled=True, events_path=events,
+                            manifest_dir=args.telemetry_dir)
     for name in names:
         started = time.time()
         if name in TABLES:
@@ -103,6 +138,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  ({time.time() - started:.1f}s)")
         _export(data, args.out)
         print()
+    if args.metrics_json:
+        from repro.telemetry import TELEMETRY
+        snap = TELEMETRY.snapshot()
+        path = Path(args.metrics_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(snap, indent=2, sort_keys=True))
+        print(f"  wrote metrics {path}")
     return 0
 
 
@@ -214,6 +256,31 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 1 if drifts else 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.errors import ExperimentError
+    from repro.telemetry.manifest import RunManifest, render_manifest
+    target = Path(args.manifest)
+    if target.is_dir():
+        candidates = sorted(target.glob("manifest_*.json"))
+        if not candidates:
+            print(f"no manifest_*.json under {target}", file=sys.stderr)
+            return 2
+        paths = candidates if args.all else [candidates[-1]]
+    else:
+        paths = [target]
+    for index, path in enumerate(paths):
+        try:
+            manifest = RunManifest.load(path)
+        except (OSError, ValueError, ExperimentError) as exc:
+            print(f"cannot read manifest {path}: {exc}", file=sys.stderr)
+            return 2
+        if index:
+            print()
+        print(f"[{path}]")
+        print(render_manifest(manifest))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -251,6 +318,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--no-cache", action="store_true",
                        help="ignore --cache-dir/$REPRO_CACHE_DIR and "
                             "recompute every suite")
+    p_run.add_argument("--policy", default=None, metavar="LIST",
+                       help="comma-separated policy subset to sweep "
+                            "(validated against the registry before "
+                            "anything runs; experiments that accept a "
+                            "policy list)")
+    p_run.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                       help="enable telemetry: structured JSONL events "
+                            "and per-sweep run manifests land here "
+                            "(inspect with 'repro stats DIR')")
+    p_run.add_argument("--metrics-json", default=None, metavar="FILE",
+                       help="enable telemetry and dump the final "
+                            "counter/histogram snapshot to FILE")
     p_run.set_defaults(func=_cmd_run)
 
     p_sim = sub.add_parser("simulate", help="one ad-hoc simulation")
@@ -318,6 +397,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("after", help="candidate results directory")
     p_diff.add_argument("--rel-tol", type=float, default=1e-6)
     p_diff.set_defaults(func=_cmd_diff)
+
+    p_stats = sub.add_parser("stats",
+                             help="render a telemetry run manifest")
+    p_stats.add_argument("manifest",
+                         help="a manifest_*.json file, or a directory "
+                              "(renders the newest manifest in it)")
+    p_stats.add_argument("--all", action="store_true",
+                         help="with a directory, render every manifest "
+                              "instead of only the newest")
+    p_stats.set_defaults(func=_cmd_stats)
     return parser
 
 

@@ -40,6 +40,8 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Sequence
 
+from repro.telemetry import TELEMETRY as _TELEMETRY
+
 if TYPE_CHECKING:
     from repro.faults import FaultPlan
 
@@ -143,6 +145,7 @@ class SuiteCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.corrupt = 0
 
     def _path(self, digest: str) -> Path:
         return self.directory / digest[:2] / f"{digest}.json"
@@ -151,17 +154,29 @@ class SuiteCache:
         """The cached suite summaries for *digest*, or ``None``."""
         path = self._path(digest)
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:
+            # Simply absent (or unreadable): the ordinary miss.
+            self.misses += 1
+            _TELEMETRY.inc("cache.misses")
+            return None
+        try:
+            payload = json.loads(text)
             suite = payload["suite"]
             summaries = {
                 str(name): PolicySummary.from_payload(fields)
                 for name, fields in suite}
-        except (OSError, ValueError, KeyError, TypeError):
-            # Missing, torn or foreign file: a miss, never an error —
-            # the suite is simply recomputed (and rewritten).
+        except (ValueError, KeyError, TypeError):
+            # Present but torn or foreign: still a miss, never an
+            # error — the suite is recomputed (and rewritten) — but
+            # counted separately so a corrupted cache is visible.
             self.misses += 1
+            self.corrupt += 1
+            _TELEMETRY.inc("cache.misses")
+            _TELEMETRY.inc("cache.corrupt")
             return None
         self.hits += 1
+        _TELEMETRY.inc("cache.hits")
         return summaries
 
     def put(self, digest: str,
@@ -185,6 +200,7 @@ class SuiteCache:
         tmp.write_text(json.dumps(entry))
         tmp.replace(path)
         self.writes += 1
+        _TELEMETRY.inc("cache.writes")
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*/*.json"))

@@ -65,6 +65,7 @@ from concurrent.futures import (
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.cpu.profiles import ideal_processor
+from repro.telemetry import TELEMETRY as _TELEMETRY
 
 if TYPE_CHECKING:
     from repro.experiments.cache import PolicySummary, SuiteCache
@@ -171,11 +172,13 @@ class WorkerPool:
         pool = cls._instance
         if (pool is not None and pool.workers == workers
                 and pool.token == token):
+            _TELEMETRY.inc("parallel.pool_reuse")
             return pool
         if pool is not None:
             pool.shutdown()
         pool = cls(workers, token, spec)
         cls._instance = pool
+        _TELEMETRY.inc("parallel.pool_forks")
         return pool
 
     @classmethod
@@ -228,25 +231,36 @@ def _suite_summaries(spec: dict[str, Any], x: float,
         except Exception:
             if attempt >= spec["max_retries"]:
                 raise
+            _TELEMETRY.inc("sweep.retries")
+            _TELEMETRY.emit("sweep.retry", x=x, seed=seed,
+                            attempt=attempt)
             _time.sleep(spec["retry_backoff"] * (2.0 ** attempt))
             attempt += 1
 
 
 def _run_chunk(
     chunk: list[tuple[int, int, float, int, int]],
-) -> list[tuple[int, Any, Exception | None]]:
+) -> tuple[list[tuple[int, Any, Exception | None]], dict | None]:
     """Run one chunk of ``(pos, index, x, seed_pos, seed)`` units.
 
-    Executed inside a forked worker.  Returns ``(pos, summaries,
-    error)`` outcomes in unit order; a unit that still fails after its
-    in-worker retries is reported as a *value* (so the parent can pick
-    the lowest-ordered failure across all chunks) and ends the chunk —
-    a serial sweep would not have run anything after its first failure
-    either.
+    Executed inside a forked worker.  Returns ``(outcomes, meta)``:
+    ``(pos, summaries, error)`` outcomes in unit order — a unit that
+    still fails after its in-worker retries is reported as a *value*
+    (so the parent can pick the lowest-ordered failure across all
+    chunks) and ends the chunk, as a serial sweep would not have run
+    anything after its first failure either — plus, when telemetry is
+    enabled (workers inherit the parent's registry state at fork
+    time), a meta dict carrying the worker pid, the chunk's wall
+    time, and the worker's telemetry *delta* for this chunk, which
+    the parent merges in its fold loop so parallel counts equal
+    serial counts.
     """
     spec = _SPEC
     if spec is None:  # pragma: no cover - guards misuse, not a code path
         raise RuntimeError("worker forked before the sweep spec was set")
+    tele = _TELEMETRY
+    before = tele.snapshot() if tele.enabled else None
+    started = _time.perf_counter()
     outcomes: list[tuple[int, Any, Exception | None]] = []
     for pos, _index, x, _seed_pos, seed in chunk:
         try:
@@ -255,7 +269,15 @@ def _run_chunk(
             outcomes.append((pos, None, exc))
             break
         outcomes.append((pos, summaries, None))
-    return outcomes
+    meta = None
+    if tele.enabled:
+        meta = {
+            "pid": os.getpid(),
+            "units": len(outcomes),
+            "wall_s": _time.perf_counter() - started,
+            "telemetry": tele.delta_since(before),
+        }
+    return outcomes, meta
 
 
 #: Thunk table for :func:`map_forked`, inherited by forked workers.
@@ -366,6 +388,10 @@ def run_cells(
     chunk_futures = {
         pool.executor.submit(_run_chunk, units[start:stop]): (start, stop)
         for start, stop in plan_chunks(len(units), workers, chunk_size)}
+    if _TELEMETRY.enabled:
+        _TELEMETRY.inc("parallel.chunks_submitted", len(chunk_futures))
+        _TELEMETRY.emit("parallel.dispatch", chunks=len(chunk_futures),
+                        units=len(units), workers=workers)
     not_done = set(chunk_futures)
     best_err: tuple[int, BaseException] | None = None
     while not_done:
@@ -373,13 +399,25 @@ def run_cells(
         for future in done:
             start, _stop = chunk_futures[future]
             try:
-                outcomes = future.result()
+                outcomes, meta = future.result()
             except BaseException as exc:
                 # Infrastructure failure (worker killed, broken pool):
                 # attribute it to the chunk's first unit.
                 if best_err is None or start < best_err[0]:
                     best_err = (start, exc)
                 continue
+            if meta is not None and _TELEMETRY.enabled:
+                # Fold the worker's chunk delta into the parent
+                # registry the moment the chunk lands — the telemetry
+                # sibling of the in-seed-order cell folding below.
+                _TELEMETRY.merge_snapshot(meta["telemetry"])
+                _TELEMETRY.record_worker(meta["pid"], chunks=1,
+                                         units=meta["units"],
+                                         busy_s=meta["wall_s"])
+                _TELEMETRY.inc("parallel.chunks_completed")
+                _TELEMETRY.inc("parallel.units_computed", meta["units"])
+                _TELEMETRY.observe("parallel.chunk_latency_s",
+                                   meta["wall_s"])
             for pos, summaries, err in outcomes:
                 if err is not None:
                     if best_err is None or pos < best_err[0]:

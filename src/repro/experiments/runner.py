@@ -36,6 +36,12 @@ from repro.policies.base import DvsPolicy
 from repro.policies.registry import make_policy
 from repro.sim.engine import simulate
 from repro.sim.results import SimulationResult
+from repro.telemetry import TELEMETRY
+from repro.telemetry.manifest import (
+    RunManifest,
+    git_revision,
+    next_manifest_path,
+)
 from repro.tasks.execution import ExecutionModel, model_for_bcwc_ratio
 from repro.tasks.generators import generate_taskset
 from repro.tasks.taskset import TaskSet
@@ -269,6 +275,8 @@ class SweepCheckpointer:
         tmp.write_text(json.dumps(
             {"fingerprint": self.fingerprint, "cell": cell.to_payload()}))
         tmp.replace(path)
+        TELEMETRY.inc("sweep.checkpoint_writes")
+        TELEMETRY.emit("sweep.checkpoint", index=index, x=cell.x)
 
 
 def sweep(
@@ -399,63 +407,155 @@ def sweep(
             cell.record_summaries(summaries)
         return cell
 
-    if workers > 1:
-        from repro.experiments.parallel import fork_available, run_cells
-        if fork_available():
-            by_index: dict[int, SweepCell] = {}
-            pending: list[tuple[int, float]] = []
-            for index, x in enumerate(xs):
-                cached = (checkpointer.load(index, float(x))
-                          if checkpointer is not None else None)
-                if cached is not None:
-                    by_index[index] = cached
-                else:
-                    pending.append((index, float(x)))
-            if pending:
-                by_index.update(run_cells(
-                    pending, taskset_seeds(master_seed, n_tasksets),
-                    spec={
-                        "make_workload": make_workload,
-                        "policy_names": list(policy_names),
-                        "horizon": horizon,
-                        "processor_factory": processor_factory,
-                        "overhead_aware": overhead_aware,
-                        "allow_misses": allow_misses,
-                        "policy_factory": policy_factory,
-                        "faults_factory": faults_factory,
-                        "max_retries": max_retries,
-                        "retry_backoff": retry_backoff,
-                    },
-                    workers=workers, checkpointer=checkpointer,
-                    cache=cache, unit_key=unit_key,
-                    chunk_size=chunk_size))
-            return [by_index[index] for index in range(len(xs))]
+    def execute() -> list[SweepCell]:
+        if workers > 1:
+            from repro.experiments.parallel import (
+                fork_available,
+                run_cells,
+            )
+            if fork_available():
+                by_index: dict[int, SweepCell] = {}
+                pending: list[tuple[int, float]] = []
+                with TELEMETRY.span("sweep.plan"):
+                    for index, x in enumerate(xs):
+                        cached = (checkpointer.load(index, float(x))
+                                  if checkpointer is not None else None)
+                        if cached is not None:
+                            TELEMETRY.inc("sweep.cells_resumed")
+                            by_index[index] = cached
+                        else:
+                            pending.append((index, float(x)))
+                if pending:
+                    by_index.update(run_cells(
+                        pending, taskset_seeds(master_seed, n_tasksets),
+                        spec={
+                            "make_workload": make_workload,
+                            "policy_names": list(policy_names),
+                            "horizon": horizon,
+                            "processor_factory": processor_factory,
+                            "overhead_aware": overhead_aware,
+                            "allow_misses": allow_misses,
+                            "policy_factory": policy_factory,
+                            "faults_factory": faults_factory,
+                            "max_retries": max_retries,
+                            "retry_backoff": retry_backoff,
+                        },
+                        workers=workers, checkpointer=checkpointer,
+                        cache=cache, unit_key=unit_key,
+                        chunk_size=chunk_size))
+                return [by_index[index] for index in range(len(xs))]
 
-    cells = []
-    for index, x in enumerate(xs):
-        if checkpointer is not None:
-            cached = checkpointer.load(index, float(x))
-            if cached is not None:
-                cells.append(cached)
-                continue
-        attempt = 0
-        while True:
-            try:
-                cell = compute_cell(index, float(x))
-                break
-            except Exception:
-                # Deterministic failures fail identically on retry and
-                # then propagate; the retries exist for transient ones
-                # (I/O hiccups in workload loading, OOM kills of child
-                # work) that a backoff genuinely cures.
-                if attempt >= max_retries:
-                    raise
-                _time.sleep(retry_backoff * (2.0 ** attempt))
-                attempt += 1
-        if checkpointer is not None:
-            checkpointer.store(index, cell)
-        cells.append(cell)
+        cells = []
+        for index, x in enumerate(xs):
+            if checkpointer is not None:
+                cached = checkpointer.load(index, float(x))
+                if cached is not None:
+                    TELEMETRY.inc("sweep.cells_resumed")
+                    cells.append(cached)
+                    continue
+            attempt = 0
+            while True:
+                try:
+                    cell = compute_cell(index, float(x))
+                    break
+                except Exception:
+                    # Deterministic failures fail identically on retry
+                    # and then propagate; the retries exist for
+                    # transient ones (I/O hiccups in workload loading,
+                    # OOM kills of child work) that a backoff genuinely
+                    # cures.
+                    if attempt >= max_retries:
+                        raise
+                    TELEMETRY.inc("sweep.retries")
+                    TELEMETRY.emit("sweep.retry", index=index,
+                                   x=float(x), attempt=attempt)
+                    _time.sleep(retry_backoff * (2.0 ** attempt))
+                    attempt += 1
+            if checkpointer is not None:
+                checkpointer.store(index, cell)
+            cells.append(cell)
+        return cells
+
+    if not TELEMETRY.enabled:
+        return execute()
+
+    # Telemetry is on: cut this sweep's metrics as a delta against the
+    # registry (other sweeps in the same process keep their counts),
+    # time the compute phase, and drop a run manifest next to the
+    # checkpoints (or into the configured manifest directory).
+    before = TELEMETRY.snapshot()
+    TELEMETRY.inc("sweep.runs")
+    TELEMETRY.inc("sweep.cells", len(xs))
+    TELEMETRY.emit("sweep.start",
+                   workload_id=workload_id, cells=len(xs),
+                   seeds=n_tasksets, workers=workers)
+    with TELEMETRY.span("sweep.compute"):
+        cells = execute()
+    _write_sweep_manifest(
+        before=before,
+        fingerprint={
+            "xs": [float(x) for x in xs],
+            "policies": list(policy_names),
+            "n_tasksets": n_tasksets,
+            "master_seed": master_seed,
+            "horizon": float(horizon),
+            "workload_id": workload_id,
+            "workers": workers,
+            "overhead_aware": overhead_aware,
+            "allow_misses": allow_misses,
+        },
+        workers=workers,
+        faults_injected=faults_factory is not None,
+        checkpoint_dir=checkpoint_dir,
+        workload_id=workload_id)
     return cells
+
+
+def _write_sweep_manifest(
+    *,
+    before: dict,
+    fingerprint: dict,
+    workers: int,
+    faults_injected: bool,
+    checkpoint_dir: str | Path | None,
+    workload_id: str | None,
+) -> Path | None:
+    """Write one run manifest for a completed sweep (telemetry on).
+
+    The manifest lands in ``TELEMETRY.manifest_dir`` when configured
+    (``repro run --telemetry-dir``), else next to the sweep's
+    checkpoints; with neither destination it is skipped.  Its numbers
+    are the sweep's *delta* — counters, phase spans, per-worker chunk
+    accounting — so concurrent-in-process sweeps never bleed into each
+    other's manifests.
+    """
+    directory = TELEMETRY.manifest_dir or (
+        Path(checkpoint_dir) if checkpoint_dir is not None else None)
+    if directory is None:
+        return None
+    delta = TELEMETRY.delta_since(before)
+    counters = delta["counters"]
+    label = workload_id or "sweep"
+    manifest = RunManifest(
+        label=label,
+        fingerprint=fingerprint,
+        phases=delta["spans"],
+        counters=counters,
+        histograms=delta["histograms"],
+        cache={
+            "hits": counters.get("cache.hits", 0),
+            "misses": counters.get("cache.misses", 0),
+            "writes": counters.get("cache.writes", 0),
+            "corrupt": counters.get("cache.corrupt", 0),
+        },
+        workers={"pool_workers": workers,
+                 "per_worker": delta["workers"]},
+        faults={"injected": faults_injected},
+        git_rev=git_revision(),
+    )
+    path = manifest.write(next_manifest_path(directory, label))
+    TELEMETRY.emit("sweep.manifest", path=str(path))
+    return path
 
 
 def bcwc_model(bcwc: float, seed: int) -> ExecutionModel:

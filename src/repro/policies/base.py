@@ -20,7 +20,12 @@ from typing import TYPE_CHECKING
 from repro.cpu.processor import Processor
 from repro.tasks.job import Job
 from repro.tasks.taskset import TaskSet
+from repro.telemetry import TELEMETRY as _TELEMETRY
 from repro.types import Speed
+
+#: Bucket edges for speed-decision histograms: speeds live in (0, 1].
+SPEED_BOUNDS: tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 
 if TYPE_CHECKING:
     from repro.sim.engine import SimContext
@@ -58,6 +63,27 @@ class DvsPolicy(ABC):
         The engine quantizes the returned value *up* to an attainable
         level, so policies may return ideal continuous speeds.
         """
+
+    def observe_decision(self, desired: Speed) -> None:
+        """Record one speed decision into telemetry.
+
+        Invoked by the engine at every dispatch — but only when the
+        telemetry registry is enabled, so the disabled path never pays
+        the call.  Wrappers inherit this; the counter is keyed by the
+        (wrapped) policy's reporting name.
+        """
+        tele = _TELEMETRY
+        if not tele.enabled:
+            return
+        tele.inc(f"policy.{self.name}.decisions")
+        tele.observe(f"policy.{self.name}.speed", desired,
+                     bounds=SPEED_BOUNDS)
+
+    def observe_slack(self, slack: float) -> None:
+        """Record one slack estimate into telemetry (analysis policies)."""
+        tele = _TELEMETRY
+        if tele.enabled:
+            tele.observe(f"policy.{self.name}.slack", slack)
 
     def metrics(self) -> dict[str, float]:
         """Per-run policy-internal counters, folded into the result.

@@ -37,6 +37,7 @@ from repro.cpu.processor import Processor
 from repro.errors import ConfigurationError
 from repro.policies.base import DvsPolicy
 from repro.tasks.job import Job
+from repro.telemetry import TELEMETRY as _TELEMETRY
 from repro.tasks.task import PeriodicTask
 from repro.tasks.taskset import TaskSet
 from repro.types import Speed
@@ -110,6 +111,8 @@ class SafetyGovernor(DvsPolicy):
             next_release=ctx.next_release_map())
         slack = exact_slack(state,
                             window_cap_periods=self.window_cap_periods)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.observe("governor.slack", slack)
         return stretch_speed(remaining, slack)
 
     def select_speed(self, job: Job, ctx: "SimContext") -> Speed:
@@ -121,6 +124,13 @@ class SafetyGovernor(DvsPolicy):
             self._max_clamp = max(self._max_clamp, floor - desired)
             ctx.note("governor",
                      f"{job.name}: raised {desired:.4f} -> {floor:.4f}")
+            if _TELEMETRY.enabled:
+                _TELEMETRY.inc("governor.clamps")
+                _TELEMETRY.observe("governor.clamp_magnitude",
+                                   floor - desired)
+                _TELEMETRY.emit("governor.clamp", job=job.name,
+                                t=ctx.time, desired=round(desired, 6),
+                                floor=round(floor, 6))
             return min(1.0, floor)
         return min(1.0, max(desired, floor))
 

@@ -65,5 +65,6 @@ class LpSehPolicy(DvsPolicy):
         state = ctx.slack_state(baseline_speed=self._baseline_speed,
                                 scaled_tasks=self._scaled_tasks)
         slack = heuristic_slack(state)
+        self.observe_slack(slack)
         return min(1.0, allotted_speed(remaining, self._baseline_speed,
                                        slack, self.min_speed))

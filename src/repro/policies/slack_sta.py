@@ -102,6 +102,7 @@ class LpStaPolicy(DvsPolicy):
         self._analysis_calls += 1
         slack = exact_slack(state,
                             window_cap_periods=self.window_cap_periods)
+        self.observe_slack(slack)
         if self.baseline == "full":
             speed = stretch_speed(remaining, slack, self.min_speed)
         else:

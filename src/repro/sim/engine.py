@@ -31,6 +31,7 @@ from repro.faults import FaultPlan, FaultyArrival, FaultyExecution
 from repro.sim.results import DeadlineMiss, SimulationResult, TaskStats
 from repro.sim.scheduler import EDFScheduler, Scheduler
 from repro.sim.tracing import TraceRecorder
+from repro.telemetry import TELEMETRY as _TELEMETRY
 from repro.tasks.arrivals import ArrivalModel, PeriodicArrival
 from repro.tasks.execution import ExecutionModel, WorstCaseExecution
 from repro.tasks.job import Job
@@ -160,7 +161,9 @@ class SimContext:
         """Pin an annotation to the trace at the current time.
 
         Used by wrapper policies (the safety governor) to make their
-        interventions auditable; a no-op when tracing is disabled.
+        interventions auditable.  Notes are buffered even when full
+        segment tracing is disabled and surface on
+        :attr:`~repro.sim.results.SimulationResult.notes`.
         """
         self._engine._trace.note(self._engine._now, kind, detail)
 
@@ -285,11 +288,44 @@ class Simulator:
         self._final_miss_check()
         result.policy_metrics = dict(self.policy.metrics())
         result.trace = self._trace if self.record_trace else None
+        result.notes = self._trace.notes
+        if _TELEMETRY.enabled:
+            self._fold_telemetry(result)
         return result
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+
+    def _fold_telemetry(self, result: SimulationResult) -> None:
+        """Fold one completed run's totals into the telemetry registry.
+
+        Folding *after* the run (from counts the result accumulates
+        anyway) keeps the hot loop free of telemetry calls: with the
+        registry disabled the only per-run cost is the ``enabled``
+        check in :meth:`run`, and with it enabled the per-dispatch
+        cost is the single speed-decision observation hook.
+        """
+        tele = _TELEMETRY
+        tele.inc("engine.runs")
+        tele.inc("engine.steps", result.dispatches + result.idle_episodes
+                 + result.sleep_episodes)
+        tele.inc("engine.dispatches", result.dispatches)
+        tele.inc("engine.releases", result.jobs_released)
+        tele.inc("engine.completions", result.jobs_completed)
+        tele.inc("engine.speed_switches", result.switch_count)
+        tele.inc("engine.idle_transitions", result.idle_episodes)
+        tele.inc("engine.sleep_transitions", result.sleep_episodes)
+        tele.inc("engine.misses", len(result.deadline_misses))
+        tele.inc("engine.overruns", result.overrun_jobs)
+        tele.inc("engine.transition_faults", result.transition_faults)
+        tele.emit("simulation", policy=result.policy,
+                  horizon=result.horizon, released=result.jobs_released,
+                  completed=result.jobs_completed,
+                  dispatches=result.dispatches,
+                  switches=result.switch_count,
+                  misses=len(result.deadline_misses),
+                  energy=result.total_energy)
 
     def _reset(self) -> None:
         self._now = 0.0
@@ -439,6 +475,7 @@ class Simulator:
         energy = self.processor.idle_energy(duration)
         self._result.idle_energy += energy
         self._result.idle_time += duration
+        self._result.idle_episodes += 1
         self._trace.idle(self._now, until, energy)
         self._last_running = None
         self._now = until
@@ -510,7 +547,10 @@ class Simulator:
                     self._last_running.task.name].preemptions += 1
         if job.first_dispatch_time is None:
             job.first_dispatch_time = self._now
+        self._result.dispatches += 1
         desired = self.policy.select_speed(job, self._ctx)
+        if _TELEMETRY.enabled:
+            self.policy.observe_decision(desired)
         speed = self._apply_speed(desired)
         if self._now >= self.horizon - TIME_EPS:
             self._last_running = job

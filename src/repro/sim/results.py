@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.sim.tracing import TraceRecorder
+from repro.sim.tracing import TraceNote, TraceRecorder
 from repro.types import Energy, Time
 
 
@@ -61,6 +61,8 @@ class SimulationResult:
     sleep_time: Time = 0.0
     jobs_released: int = 0
     jobs_completed: int = 0
+    dispatches: int = 0
+    idle_episodes: int = 0
     overrun_jobs: int = 0
     transition_faults: int = 0
     deadline_misses: list[DeadlineMiss] = field(default_factory=list)
@@ -68,6 +70,10 @@ class SimulationResult:
     speed_time: dict[float, Time] = field(default_factory=dict)
     policy_metrics: dict[str, float] = field(default_factory=dict)
     trace: TraceRecorder | None = None
+    #: Zero-duration annotations (governor interventions, injected
+    #: faults, overruns) — captured even when full segment tracing is
+    #: disabled, so large sweeps keep their audit trail.
+    notes: tuple[TraceNote, ...] = ()
 
     @property
     def total_energy(self) -> Energy:
@@ -77,6 +83,10 @@ class SimulationResult:
     @property
     def missed(self) -> bool:
         return bool(self.deadline_misses)
+
+    def notes_of_kind(self, kind: str) -> tuple[TraceNote, ...]:
+        """The buffered annotations of one kind (e.g. ``"governor"``)."""
+        return tuple(n for n in self.notes if n.kind == kind)
 
     def normalized_energy(self, baseline: "SimulationResult") -> float:
         """This run's energy relative to *baseline* (same workload)."""

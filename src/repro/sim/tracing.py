@@ -64,7 +64,15 @@ class Segment:
 
 
 class TraceRecorder:
-    """Collects segments; merges adjacent identical ones."""
+    """Collects segments; merges adjacent identical ones.
+
+    ``enabled`` gates only the *segment* stream — the part whose cost
+    scales with the schedule length.  Notes are always buffered: they
+    record rare, audit-critical events (governor interventions,
+    injected faults, overruns), and disabling tracing for a large
+    sweep must not silently drop them (they surface on
+    :attr:`repro.sim.results.SimulationResult.notes` either way).
+    """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
@@ -86,9 +94,7 @@ class TraceRecorder:
         return tuple(self._notes)
 
     def note(self, time: Time, kind: str, detail: str) -> None:
-        """Record an instantaneous annotation (no-op when disabled)."""
-        if not self.enabled:
-            return
+        """Record an instantaneous annotation (kept even when disabled)."""
         self._notes.append(TraceNote(time=time, kind=kind, detail=detail))
 
     def notes_of_kind(self, kind: str) -> tuple[TraceNote, ...]:

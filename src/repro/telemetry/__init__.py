@@ -1,0 +1,38 @@
+"""repro.telemetry — zero-dependency observability for the simulator.
+
+See :mod:`repro.telemetry.core` for the span/counter/histogram
+registry (:data:`TELEMETRY`, process-local, disabled by default) and
+:mod:`repro.telemetry.manifest` for per-sweep run manifests.  DESIGN.md
+§9 documents the span model, the metric naming scheme and the manifest
+schema.
+"""
+
+from repro.telemetry.core import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Histogram,
+    JsonlSink,
+    TELEMETRY,
+    Telemetry,
+)
+from repro.telemetry.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    git_revision,
+    next_manifest_path,
+    render_manifest,
+)
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "Counter",
+    "Histogram",
+    "JsonlSink",
+    "TELEMETRY",
+    "Telemetry",
+    "MANIFEST_SCHEMA",
+    "RunManifest",
+    "git_revision",
+    "next_manifest_path",
+    "render_manifest",
+]

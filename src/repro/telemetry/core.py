@@ -1,0 +1,353 @@
+"""Span/counter/histogram core of the telemetry layer.
+
+One process-local :class:`Telemetry` registry (:data:`TELEMETRY`)
+collects three metric shapes:
+
+* **counters** — monotonically increasing integers
+  (``engine.releases``, ``cache.hits``, ``sweep.retries`` ...);
+* **histograms** — fixed-boundary bucket counts plus count/total/
+  min/max, for value distributions (dispatch speeds, slack estimates,
+  chunk latencies);
+* **spans** — named phases timed with ``perf_counter`` (wall) and
+  ``process_time`` (CPU) via a context manager, accumulated per name.
+
+The registry is **disabled by default** and every recording entry
+point starts with a single ``enabled`` check, so an un-instrumented
+run pays one attribute load per hook — nothing measurable on the
+engine step benchmark (guarded by ``tests/test_telemetry.py`` and the
+``bench_record.py --check`` gate).
+
+Snapshots are plain JSON-able dicts; :meth:`Telemetry.delta_since`
+and :meth:`Telemetry.merge_snapshot` make the registry composable
+across process boundaries: a forked sweep worker measures its chunk as
+a delta against its fork-time snapshot and the parent merges that
+delta in its fold loop, so parallel sweeps aggregate the same counts a
+serial sweep would (pinned by ``tests/test_telemetry.py``).
+
+An optional :class:`JsonlSink` appends structured events
+(``events.jsonl``); it records the pid that attached it and silently
+refuses to write from any other process, so forked workers never
+interleave lines into the parent's event log.
+
+Nothing here imports from the rest of ``repro`` — the telemetry core
+must stay leaf-level so every layer (engine, policies, experiments,
+CLI) can hook into it without import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from bisect import bisect_right
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+#: Default histogram boundaries: a coarse log-ish grid wide enough for
+#: speeds (0..1], slack values (time units) and latencies (seconds).
+DEFAULT_BOUNDS: tuple[float, ...] = (
+    0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 2.5, 10.0, 100.0)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = int(value)
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Histogram:
+    """Fixed-boundary bucket counts with count/total/min/max.
+
+    ``bounds`` are the *upper* edges of the first ``len(bounds)``
+    buckets; one overflow bucket catches everything beyond the last
+    edge.  Two histograms with the same bounds merge (and subtract)
+    bucket-wise, which is what makes worker deltas foldable.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BOUNDS) -> None:
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_payload(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    def merge_payload(self, payload: Mapping) -> None:
+        """Fold another histogram's payload (same bounds) into this."""
+        if tuple(payload["bounds"]) != self.bounds:
+            raise ValueError(
+                f"histogram bounds mismatch: {payload['bounds']} vs "
+                f"{list(self.bounds)}")
+        for i, n in enumerate(payload["buckets"]):
+            self.buckets[i] += n
+        self.count += payload["count"]
+        self.total += payload["total"]
+        if payload["min"] is not None and payload["min"] < self.min:
+            self.min = payload["min"]
+        if payload["max"] is not None and payload["max"] > self.max:
+            self.max = payload["max"]
+
+
+def _subtract_histogram(after: Mapping, before: Mapping | None) -> dict:
+    """Bucket-wise ``after - before``; min/max come from *after*.
+
+    Min/max are not invertible through subtraction; keeping the
+    *after* extrema is a safe over-approximation for a delta that only
+    ever folds back into the registry it was cut from.
+    """
+    if before is None:
+        return dict(after)
+    return {
+        "bounds": list(after["bounds"]),
+        "buckets": [a - b for a, b in zip(after["buckets"],
+                                          before["buckets"])],
+        "count": after["count"] - before["count"],
+        "total": after["total"] - before["total"],
+        "min": after["min"],
+        "max": after["max"],
+    }
+
+
+class JsonlSink:
+    """Append-only JSONL event stream, pinned to its attaching pid."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = self.path.open("a", encoding="utf-8")
+        self._pid = os.getpid()
+        self._seq = 0
+
+    def write(self, kind: str, fields: Mapping[str, Any]) -> None:
+        """Append one event; a no-op in any process but the attacher."""
+        if os.getpid() != self._pid:
+            return
+        self._seq += 1
+        record = {"seq": self._seq, "ts": round(time.time(), 6),
+                  "kind": kind, **fields}
+        self._file.write(json.dumps(record) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if os.getpid() == self._pid:
+            self._file.close()
+
+
+class Telemetry:
+    """The process-local metric registry.
+
+    All entry points are cheap no-ops while ``enabled`` is False —
+    hot-path callers additionally guard with ``if TELEMETRY.enabled``
+    so the disabled cost is one attribute check, not a method call.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.manifest_dir: Path | None = None
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._spans: dict[str, dict[str, float]] = {}
+        self._workers: dict[str, dict[str, float]] = {}
+        self._sink: JsonlSink | None = None
+
+    # -- configuration -------------------------------------------------
+
+    def configure(self, *, enabled: bool = True,
+                  events_path: str | Path | None = None,
+                  manifest_dir: str | Path | None = None) -> None:
+        """Switch the registry on (or off) and attach outputs."""
+        self.enabled = enabled
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+        if events_path is not None and enabled:
+            self._sink = JsonlSink(events_path)
+        self.manifest_dir = (Path(manifest_dir)
+                            if manifest_dir is not None else None)
+
+    def reset(self) -> None:
+        """Drop every recorded metric (configuration is kept)."""
+        self._counters.clear()
+        self._histograms.clear()
+        self._spans.clear()
+        self._workers.clear()
+
+    # -- recording -----------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        if not self.enabled or n == 0:
+            return
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        counter.inc(n)
+
+    def observe(self, name: str, value: float,
+                bounds: tuple[float, ...] = DEFAULT_BOUNDS) -> None:
+        if not self.enabled:
+            return
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(bounds)
+        histogram.observe(value)
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[None]:
+        """Time a phase; accumulates wall and CPU seconds under *name*.
+
+        CPU time is this process's only — a parallel phase's worker
+        CPU arrives separately through the merged worker deltas.
+        """
+        if not self.enabled:
+            yield
+            return
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            wall = time.perf_counter() - wall0
+            cpu = time.process_time() - cpu0
+            span = self._spans.get(name)
+            if span is None:
+                span = self._spans[name] = {
+                    "count": 0, "wall_s": 0.0, "cpu_s": 0.0}
+            span["count"] += 1
+            span["wall_s"] += wall
+            span["cpu_s"] += cpu
+            self.emit("span", name=name, wall_s=round(wall, 6),
+                      cpu_s=round(cpu, 6), **fields)
+
+    def record_worker(self, pid: int, *, chunks: int = 0, units: int = 0,
+                      busy_s: float = 0.0) -> None:
+        """Accumulate one worker process's chunk accounting."""
+        if not self.enabled:
+            return
+        stats = self._workers.get(str(pid))
+        if stats is None:
+            stats = self._workers[str(pid)] = {
+                "chunks": 0, "units": 0, "busy_s": 0.0}
+        stats["chunks"] += chunks
+        stats["units"] += units
+        stats["busy_s"] += busy_s
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Write one structured event to the JSONL sink, if attached."""
+        if not self.enabled or self._sink is None:
+            return
+        self._sink.write(kind, fields)
+
+    # -- reading -------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        c = self._counters.get(name)
+        return c.value if c is not None else 0
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    def snapshot(self) -> dict:
+        """A plain JSON-able copy of everything recorded so far."""
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "histograms": {k: h.to_payload()
+                           for k, h in self._histograms.items()},
+            "spans": {k: dict(v) for k, v in self._spans.items()},
+            "workers": {k: dict(v) for k, v in self._workers.items()},
+        }
+
+    def delta_since(self, before: Mapping | None) -> dict:
+        """Current snapshot minus *before* (``None`` = everything).
+
+        The shape workers ship back to the sweep parent: fork-time
+        state is subtracted out so merging the delta never double
+        counts what the parent already holds.
+        """
+        after = self.snapshot()
+        if before is None:
+            return after
+        counters = {}
+        for name, value in after["counters"].items():
+            diff = value - before["counters"].get(name, 0)
+            if diff:
+                counters[name] = diff
+        histograms = {}
+        for name, payload in after["histograms"].items():
+            diff = _subtract_histogram(
+                payload, before["histograms"].get(name))
+            if diff["count"]:
+                histograms[name] = diff
+        spans = {}
+        for name, span in after["spans"].items():
+            base = before["spans"].get(name,
+                                       {"count": 0, "wall_s": 0.0,
+                                        "cpu_s": 0.0})
+            if span["count"] != base["count"]:
+                spans[name] = {k: span[k] - base[k] for k in span}
+        workers = {}
+        for pid, stats in after["workers"].items():
+            base = before["workers"].get(pid, {"chunks": 0, "units": 0,
+                                               "busy_s": 0.0})
+            diff = {k: stats[k] - base[k] for k in stats}
+            if diff["chunks"] or diff["units"]:
+                workers[pid] = diff
+        return {"counters": counters, "histograms": histograms,
+                "spans": spans, "workers": workers}
+
+    def merge_snapshot(self, snap: Mapping) -> None:
+        """Fold a snapshot/delta (e.g. from a worker) into the registry."""
+        if not self.enabled:
+            return
+        for name, value in snap.get("counters", {}).items():
+            self.inc(name, value)
+        for name, payload in snap.get("histograms", {}).items():
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(
+                    tuple(payload["bounds"]))
+            histogram.merge_payload(payload)
+        for name, span in snap.get("spans", {}).items():
+            mine = self._spans.get(name)
+            if mine is None:
+                mine = self._spans[name] = {
+                    "count": 0, "wall_s": 0.0, "cpu_s": 0.0}
+            for key in mine:
+                mine[key] += span.get(key, 0)
+        for pid, stats in snap.get("workers", {}).items():
+            self.record_worker(int(pid), **stats)
+
+
+#: The process-local registry every layer hooks into.
+TELEMETRY = Telemetry()

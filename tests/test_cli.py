@@ -160,3 +160,55 @@ class TestSimulateExtensions:
                      "--critical-speed", "--tasks", "3",
                      "--horizon", "400"]) == 0
         assert "cs-lpSTA" in capsys.readouterr().out
+
+
+@pytest.mark.telemetry
+class TestRunPolicyAndTelemetry:
+    """`run --policy` validation and the telemetry CLI surface."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_registry(self):
+        from repro.telemetry import TELEMETRY
+        yield
+        TELEMETRY.configure(enabled=False)
+        TELEMETRY.reset()
+
+    def test_unknown_policy_fails_before_any_simulation(self, capsys):
+        assert main(["run", "fig1", "--quick",
+                     "--policy", "lpSTA,bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown policy 'bogus'" in err
+        assert "known: " in err and "lpSEH" in err
+        assert capsys.readouterr().out == ""  # nothing ran
+
+    def test_empty_policy_list_rejected(self, capsys):
+        assert main(["run", "fig1", "--quick", "--policy", " , "]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_policy_subset_restricts_sweep(self, capsys):
+        assert main(["run", "fig1", "--quick",
+                     "--policy", "static,lpSTA"]) == 0
+        out = capsys.readouterr().out
+        assert "static" in out and "lpSTA" in out
+        assert "lpSEH" not in out
+
+    def test_telemetry_dir_manifest_and_stats(self, capsys, tmp_path):
+        tele = tmp_path / "tele"
+        assert main(["run", "fig1", "--quick",
+                     "--policy", "static,lpSTA",
+                     "--telemetry-dir", str(tele),
+                     "--metrics-json", str(tmp_path / "m.json")]) == 0
+        capsys.readouterr()
+        manifests = list(tele.glob("manifest_*.json"))
+        assert len(manifests) == 1
+        assert (tele / "events.jsonl").exists()
+        metrics = json.loads((tmp_path / "m.json").read_text())
+        assert metrics["counters"]["engine.runs"] > 0
+        assert main(["stats", str(tele)]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest: EXP-F1" in out
+        assert "engine.releases" in out
+
+    def test_stats_on_empty_directory_fails(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path)]) == 2
+        assert "no manifest" in capsys.readouterr().err

@@ -83,3 +83,68 @@ class TestGantt:
 
     def test_empty_trace(self):
         assert "empty" in TraceRecorder().render_gantt()
+
+
+class TestNotesAlwaysBuffered:
+    """``note()`` records even when segment tracing is disabled.
+
+    Governor interventions and fault events are audit data, not trace
+    decoration — a sweep run with ``record_trace=False`` must still
+    surface them on ``SimulationResult.notes``.
+    """
+
+    def test_disabled_recorder_still_buffers_notes(self):
+        rec = TraceRecorder(enabled=False)
+        rec.note(1.0, "governor", "raised 0.4 -> 0.6")
+        assert len(rec) == 0  # segments stay gated
+        assert len(rec.notes) == 1
+        assert rec.notes[0].kind == "governor"
+
+    def test_untraced_simulation_surfaces_notes(self):
+        from repro.cpu.profiles import ideal_processor
+        from repro.faults import FaultPlan, OverrunFault
+        from repro.policies.registry import make_policy
+        from repro.sim.engine import simulate
+        from repro.tasks.execution import WorstCaseExecution
+        from repro.tasks.task import PeriodicTask
+        from repro.tasks.taskset import TaskSet
+
+        taskset = TaskSet([PeriodicTask("A", wcet=1.0, period=4.0),
+                           PeriodicTask("B", wcet=2.5, period=10.0)])
+        plan = FaultPlan(seed=7, overrun=OverrunFault(factor=1.3,
+                                                      probability=1.0))
+        result = simulate(
+            taskset, ideal_processor(min_speed=0.05),
+            make_policy("lpSTA", governed=True, governor_margin=1.3),
+            WorstCaseExecution(), horizon=40.0, record_trace=False,
+            allow_misses=True, faults=plan)
+        assert result.trace is None
+        assert result.notes  # buffered despite tracing being off
+        assert result.notes_of_kind("overrun")
+        kinds = {note.kind for note in result.notes}
+        assert kinds <= {"overrun", "governor", "transition-fault",
+                         "deadline-miss"}
+
+    def test_traced_and_untraced_notes_agree(self):
+        from repro.cpu.profiles import ideal_processor
+        from repro.faults import FaultPlan, OverrunFault
+        from repro.policies.registry import make_policy
+        from repro.sim.engine import simulate
+        from repro.tasks.execution import WorstCaseExecution
+        from repro.tasks.task import PeriodicTask
+        from repro.tasks.taskset import TaskSet
+
+        taskset = TaskSet([PeriodicTask("A", wcet=1.0, period=4.0),
+                           PeriodicTask("B", wcet=2.5, period=10.0)])
+
+        def run(record_trace: bool):
+            plan = FaultPlan(seed=7, overrun=OverrunFault(
+                factor=1.3, probability=1.0))
+            return simulate(
+                taskset, ideal_processor(min_speed=0.05),
+                make_policy("lpSTA", governed=True, governor_margin=1.3),
+                WorstCaseExecution(), horizon=40.0,
+                record_trace=record_trace, allow_misses=True,
+                faults=plan)
+
+        assert run(True).notes == run(False).notes
