@@ -25,6 +25,10 @@ PYTHONPATH=src python -m pytest -x -q \
 # serial-equals-parallel merge, manifest consistency.
 PYTHONPATH=src python -m pytest -x -q -m telemetry
 
+# Schedule-invariant audit over one reference cell and one
+# fault-matrix cell, every policy: fails on any Violation.
+PYTHONPATH=src python scripts/trace_audit_gate.py
+
 latest=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
 if [[ -z "${latest}" ]]; then
     echo "no BENCH_*.json record found; skipping the perf guard"

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""CI gate: spot-audit reference sweep cells for schedule violations.
+
+Runs the invariant auditor (:func:`repro.analysis.audit_trace`) over
+two representative cells — one clean EXP-F1-style utilization cell and
+one fault-matrix cell (overrun + stuck-transition faults under the
+safety governor) — under every online policy plus the references.
+Exits non-zero on the first violation, printing the structured report,
+so a scheduling or accounting regression fails fast CI even when the
+aggregate energy numbers still look plausible.
+
+Usage: PYTHONPATH=src python scripts/trace_audit_gate.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import render_violations, run_and_audit
+from repro.cpu.profiles import ideal_processor
+from repro.experiments.runner import standard_taskset, taskset_seeds
+from repro.faults import FaultPlan
+from repro.faults.plan import OverrunFault, TransitionFault
+from repro.policies.registry import ALL_POLICY_NAMES, make_policy
+from repro.sim.engine import Simulator
+from repro.tasks.execution import model_for_bcwc_ratio
+
+HORIZON = 120.0
+
+
+def audit_cell(label: str, *, utilization: float, seed: int,
+               faults: FaultPlan | None, governed: bool) -> int:
+    taskset = standard_taskset(5, utilization, seed)
+    model = model_for_bcwc_ratio(0.5, seed=seed)
+    failures = 0
+    for name in ALL_POLICY_NAMES:
+        policy = make_policy(name, governed=governed)
+        sim = Simulator(taskset, ideal_processor(), policy, model,
+                        horizon=HORIZON, record_trace=True,
+                        allow_misses=True, faults=faults)
+        _, violations = run_and_audit(sim)
+        if violations:
+            failures += 1
+            print(f"FAIL {label}/{name}")
+            print(render_violations(violations))
+        else:
+            print(f"ok   {label}/{name}")
+    return failures
+
+
+def main() -> int:
+    seed = taskset_seeds(2002, 1)[0]
+    failures = audit_cell("exp-f1(u=0.6)", utilization=0.6, seed=seed,
+                          faults=None, governed=False)
+    failures += audit_cell(
+        "fault-matrix(overrun+stuck)", utilization=0.6, seed=seed,
+        faults=FaultPlan(
+            seed=7,
+            overrun=OverrunFault(factor=1.4, probability=0.3),
+            transition=TransitionFault(stuck_probability=0.2)),
+        governed=True)
+    if failures:
+        print(f"trace audit gate: {failures} policy run(s) violated "
+              f"schedule invariants")
+        return 1
+    print("trace audit gate: all runs clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,12 @@ from repro.analysis.slack import (
     allotted_speed,
     scale_tasks,
 )
+from repro.analysis.audit import (
+    Violation,
+    audit_trace,
+    render_violations,
+    run_and_audit,
+)
 from repro.analysis.validation import (
     validate_run,
     validate_structure,
@@ -70,6 +76,10 @@ __all__ = [
     "stretch_speed",
     "allotted_speed",
     "scale_tasks",
+    "Violation",
+    "audit_trace",
+    "render_violations",
+    "run_and_audit",
     "validate_run",
     "validate_structure",
     "validate_speeds",

@@ -21,6 +21,11 @@ Commands
 ``stats``
     Render a telemetry run manifest (written by ``run
     --telemetry-dir``) as an ASCII audit report.
+``trace``
+    Schedule traces: ``export`` one run as a Perfetto-loadable Chrome
+    trace (or compact JSONL), ``audit`` a run against the schedule
+    invariants, ``diff`` two JSONL traces (first divergent segment),
+    ``timeline`` a sweep's telemetry events as a worker-lane trace.
 """
 
 from __future__ import annotations
@@ -177,17 +182,16 @@ def _make_idle_policy(args: argparse.Namespace):
     return ProcrastinationIdlePolicy()
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.experiments.parallel import map_forked
+def _resolve_workload(args: argparse.Namespace):
+    """The (taskset, processor, model, faults, horizon, margin) an
+    ad-hoc command's workload flags describe.
+
+    Shared by ``repro simulate`` and ``repro trace export/audit`` so a
+    trace always reproduces exactly what a simulate with the same
+    flags ran.  Raises :class:`ConfigurationError` on a bad fault
+    spec.
+    """
     from repro.faults import parse_fault_plan
-    policy_names = [name.strip() for name in args.policy.split(",")
-                    if name.strip()]
-    unknown = [name for name in policy_names
-               if name not in ALL_POLICY_NAMES]
-    if not policy_names or unknown:
-        print(f"unknown policy {', '.join(unknown) or args.policy!r}; "
-              f"known: {', '.join(ALL_POLICY_NAMES)}", file=sys.stderr)
-        return 2
     if args.benchmark:
         taskset = load_benchmark(args.benchmark)
     else:
@@ -195,12 +199,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             args.tasks, args.utilization, np.random.default_rng(args.seed))
     processor = load_profile(args.processor)
     model = model_for_bcwc_ratio(args.bcwc, seed=args.seed)
-    try:
-        faults = (parse_fault_plan(args.faults, seed=args.seed)
-                  if args.faults else None)
-    except ConfigurationError as exc:
-        print(f"bad --faults spec: {exc}", file=sys.stderr)
-        return 2
+    faults = (parse_fault_plan(args.faults, seed=args.seed)
+              if args.faults else None)
     margin = args.governor_margin
     if margin is None:
         # Default the margin to the provisioned overrun severity.
@@ -209,13 +209,36 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                   else 1.0)
     horizon = args.horizon or taskset.default_horizon(
         min_jobs_per_task=10, max_hyperperiods=1)
+    return taskset, processor, model, faults, horizon, margin
+
+
+def _build_policy(args: argparse.Namespace, name: str, margin: float):
+    return make_policy(name,
+                       overhead_aware=args.overhead_aware,
+                       critical_speed_floor=args.critical_speed,
+                       governed=args.governed,
+                       governor_margin=margin)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import map_forked
+    policy_names = [name.strip() for name in args.policy.split(",")
+                    if name.strip()]
+    unknown = [name for name in policy_names
+               if name not in ALL_POLICY_NAMES]
+    if not policy_names or unknown:
+        print(f"unknown policy {', '.join(unknown) or args.policy!r}; "
+              f"known: {', '.join(ALL_POLICY_NAMES)}", file=sys.stderr)
+        return 2
+    try:
+        (taskset, processor, model, faults,
+         horizon, margin) = _resolve_workload(args)
+    except ConfigurationError as exc:
+        print(f"bad --faults spec: {exc}", file=sys.stderr)
+        return 2
 
     def run_one(name: str):
-        policy = make_policy(name,
-                             overhead_aware=args.overhead_aware,
-                             critical_speed_floor=args.critical_speed,
-                             governed=args.governed,
-                             governor_margin=margin)
+        policy = _build_policy(args, name, margin)
         return simulate(taskset, processor, policy, model,
                         arrival_model=_make_arrival_model(args),
                         idle_policy=_make_idle_policy(args),
@@ -281,6 +304,127 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_simulator(args: argparse.Namespace):
+    """A tracing simulator for ``repro trace export/audit``."""
+    from repro.sim.engine import Simulator
+    (taskset, processor, model, faults,
+     horizon, margin) = _resolve_workload(args)
+    policy = _build_policy(args, args.policy, margin)
+    return Simulator(taskset, processor, policy, model,
+                     arrival_model=_make_arrival_model(args),
+                     idle_policy=_make_idle_policy(args),
+                     horizon=horizon, record_trace=True,
+                     allow_misses=args.allow_misses, faults=faults)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command in ("export", "audit"):
+        if args.policy not in ALL_POLICY_NAMES:
+            print(f"unknown policy {args.policy!r}; known: "
+                  f"{', '.join(ALL_POLICY_NAMES)}", file=sys.stderr)
+            return 2
+        try:
+            sim = _trace_simulator(args)
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    if args.trace_command == "export":
+        from repro.trace import export_chrome_trace, write_trace_jsonl
+        result = sim.run()
+        out = Path(args.out)
+        if args.format == "jsonl" or (args.format == "auto"
+                                      and out.suffix == ".jsonl"):
+            path = write_trace_jsonl(result, out)
+        else:
+            path = export_chrome_trace(result, out)
+        print(f"wrote {path}")
+        if args.ledger:
+            print(result.energy_ledger().render())
+        return 0
+
+    if args.trace_command == "audit":
+        from repro.analysis import render_violations, run_and_audit
+        result, violations = run_and_audit(sim)
+        print(result.summary())
+        print(render_violations(violations))
+        if violations and args.out:
+            from repro.trace import write_trace_jsonl
+            path = write_trace_jsonl(result, args.out)
+            print(f"wrote violating trace {path}")
+        return 1 if violations else 0
+
+    if args.trace_command == "diff":
+        from repro.errors import TraceValidationError
+        from repro.trace import diff_docs, read_trace_jsonl
+        try:
+            doc_a = read_trace_jsonl(args.a)
+            doc_b = read_trace_jsonl(args.b)
+        except TraceValidationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        divergence = diff_docs(doc_a, doc_b)
+        if divergence is None:
+            print(f"traces identical ({len(doc_a.segments)} segments, "
+                  f"{len(doc_a.notes)} notes)")
+            return 0
+        print(divergence.render())
+        return 1
+
+    # timeline
+    from repro.errors import ExperimentError
+    from repro.trace import export_sweep_timeline
+    try:
+        path = export_sweep_timeline(args.events, args.out)
+    except ExperimentError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"wrote {path}")
+    return 0
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    """The ad-hoc workload flags shared by ``simulate`` and ``trace``."""
+    parser.add_argument("--benchmark", default=None,
+                        choices=sorted(BENCHMARK_TASKSETS))
+    parser.add_argument("--tasks", type=int, default=5)
+    parser.add_argument("--utilization", type=float, default=0.8)
+    parser.add_argument("--bcwc", type=float, default=0.5,
+                        help="best-case/worst-case execution ratio")
+    parser.add_argument("--processor", default="ideal",
+                        choices=sorted(PROCESSOR_PROFILES))
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--horizon", type=float, default=None)
+    parser.add_argument("--overhead-aware", action="store_true")
+    parser.add_argument("--critical-speed", action="store_true",
+                        help="clamp to the leakage-aware critical speed")
+    parser.add_argument("--arrivals", default="periodic",
+                        choices=("periodic", "jitter", "exponential",
+                                 "bursty"),
+                        help="arrival process (sporadic variants respect "
+                             "the minimum separation)")
+    parser.add_argument("--jitter", type=float, default=0.5,
+                        help="jitter/extra-gap parameter for sporadic "
+                             "arrival processes")
+    parser.add_argument("--idle", default="default",
+                        choices=("default", "sleep", "procrastinate"),
+                        help="idle-time management")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="inject faults, e.g. 'overrun:1.5' or "
+                             "'overrun:1.4:0.3,jitter:0.2,stuck:0.1' "
+                             "(kinds: overrun, jitter, burst, drift, "
+                             "stuck, delay, quantize)")
+    parser.add_argument("--governed", action="store_true",
+                        help="wrap the policy in the runtime safety "
+                             "governor (slack-based feasibility floor)")
+    parser.add_argument("--governor-margin", type=float, default=None,
+                        help="WCET margin the governor provisions for "
+                             "(default: the overrun factor of --faults, "
+                             "else 1.0)")
+    parser.add_argument("--allow-misses", action="store_true",
+                        help="record deadline misses instead of aborting")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -340,47 +484,59 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--workers", type=int, default=1, metavar="N",
                        help="with a multi-policy --policy list, run up "
                             "to N policies in parallel worker processes")
-    p_sim.add_argument("--benchmark", default=None,
-                       choices=sorted(BENCHMARK_TASKSETS))
-    p_sim.add_argument("--tasks", type=int, default=5)
-    p_sim.add_argument("--utilization", type=float, default=0.8)
-    p_sim.add_argument("--bcwc", type=float, default=0.5,
-                       help="best-case/worst-case execution ratio")
-    p_sim.add_argument("--processor", default="ideal",
-                       choices=sorted(PROCESSOR_PROFILES))
-    p_sim.add_argument("--seed", type=int, default=1)
-    p_sim.add_argument("--horizon", type=float, default=None)
-    p_sim.add_argument("--overhead-aware", action="store_true")
-    p_sim.add_argument("--critical-speed", action="store_true",
-                       help="clamp to the leakage-aware critical speed")
-    p_sim.add_argument("--arrivals", default="periodic",
-                       choices=("periodic", "jitter", "exponential",
-                                "bursty"),
-                       help="arrival process (sporadic variants respect "
-                            "the minimum separation)")
-    p_sim.add_argument("--jitter", type=float, default=0.5,
-                       help="jitter/extra-gap parameter for sporadic "
-                            "arrival processes")
-    p_sim.add_argument("--idle", default="default",
-                       choices=("default", "sleep", "procrastinate"),
-                       help="idle-time management")
-    p_sim.add_argument("--faults", default=None, metavar="SPEC",
-                       help="inject faults, e.g. 'overrun:1.5' or "
-                            "'overrun:1.4:0.3,jitter:0.2,stuck:0.1' "
-                            "(kinds: overrun, jitter, burst, drift, "
-                            "stuck, delay, quantize)")
-    p_sim.add_argument("--governed", action="store_true",
-                       help="wrap the policy in the runtime safety "
-                            "governor (slack-based feasibility floor)")
-    p_sim.add_argument("--governor-margin", type=float, default=None,
-                       help="WCET margin the governor provisions for "
-                            "(default: the overrun factor of --faults, "
-                            "else 1.0)")
-    p_sim.add_argument("--allow-misses", action="store_true",
-                       help="record deadline misses instead of aborting")
+    _add_workload_args(p_sim)
     p_sim.add_argument("--gantt", action="store_true",
                        help="print an ASCII Gantt strip")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_trace = sub.add_parser(
+        "trace", help="export, audit and compare schedule traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_command",
+                                       required=True)
+
+    p_texp = trace_sub.add_parser(
+        "export", help="run one traced simulation and export the "
+                       "schedule (Chrome trace JSON for Perfetto, or "
+                       "compact JSONL)")
+    p_texp.add_argument("--policy", default="lpSTA",
+                        help="policy name (see 'repro list')")
+    _add_workload_args(p_texp)
+    p_texp.add_argument("--out", required=True, metavar="FILE",
+                        help="output path (load .json in "
+                             "https://ui.perfetto.dev)")
+    p_texp.add_argument("--format", default="auto",
+                        choices=("auto", "chrome", "jsonl"),
+                        help="auto picks jsonl for .jsonl paths, "
+                             "chrome otherwise")
+    p_texp.add_argument("--ledger", action="store_true",
+                        help="also print the per-task energy ledger")
+    p_texp.set_defaults(func=_cmd_trace)
+
+    p_taud = trace_sub.add_parser(
+        "audit", help="run one traced simulation and check the "
+                      "schedule invariants (exit 1 on violations)")
+    p_taud.add_argument("--policy", default="lpSTA",
+                        help="policy name (see 'repro list')")
+    _add_workload_args(p_taud)
+    p_taud.add_argument("--out", default=None, metavar="FILE",
+                        help="dump the trace as JSONL when violations "
+                             "are found")
+    p_taud.set_defaults(func=_cmd_trace)
+
+    p_tdiff = trace_sub.add_parser(
+        "diff", help="first divergent segment between two JSONL traces "
+                     "(exit 1 when they differ)")
+    p_tdiff.add_argument("a", help="baseline trace (.jsonl)")
+    p_tdiff.add_argument("b", help="candidate trace (.jsonl)")
+    p_tdiff.set_defaults(func=_cmd_trace)
+
+    p_ttl = trace_sub.add_parser(
+        "timeline", help="fold a sweep's telemetry events.jsonl into "
+                         "a worker-lane Chrome trace")
+    p_ttl.add_argument("events", help="telemetry events.jsonl of a run")
+    p_ttl.add_argument("--out", required=True, metavar="FILE",
+                       help="output Chrome trace JSON path")
+    p_ttl.set_defaults(func=_cmd_trace)
 
     p_rep = sub.add_parser("report",
                            help="build a markdown report from exported "

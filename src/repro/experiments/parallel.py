@@ -203,8 +203,8 @@ def shutdown_pool() -> None:
 atexit.register(shutdown_pool)
 
 
-def _suite_summaries(spec: dict[str, Any], x: float,
-                     seed: int) -> "dict[str, PolicySummary]":
+def _suite_summaries(spec: dict[str, Any], x: float, seed: int,
+                     audit: bool = False) -> "dict[str, PolicySummary]":
     """One (cell, seed) suite under *spec*, with in-worker retries."""
     from repro.experiments.runner import run_suite
 
@@ -226,7 +226,8 @@ def _suite_summaries(spec: dict[str, Any], x: float,
                                 if policy_factory else None),
                 faults=(faults_factory(x, seed)
                         if faults_factory else None),
-                workload_seed=seed)
+                workload_seed=seed,
+                audit=audit)
             return suite.policy_summaries()
         except Exception:
             if attempt >= spec["max_retries"]:
@@ -261,10 +262,17 @@ def _run_chunk(
     tele = _TELEMETRY
     before = tele.snapshot() if tele.enabled else None
     started = _time.perf_counter()
+    t0 = _time.time()
+    audit_every = spec.get("audit_every")
+    n_seeds = spec.get("n_seeds", 0)
     outcomes: list[tuple[int, Any, Exception | None]] = []
-    for pos, _index, x, _seed_pos, seed in chunk:
+    for pos, index, x, seed_pos, seed in chunk:
+        # Same unit positions as the serial loop, so spot-audit
+        # selection is identical in both paths.
+        audit = (audit_every is not None
+                 and (index * n_seeds + seed_pos) % audit_every == 0)
         try:
-            summaries = _suite_summaries(spec, x, seed)
+            summaries = _suite_summaries(spec, x, seed, audit=audit)
         except Exception as exc:
             outcomes.append((pos, None, exc))
             break
@@ -275,6 +283,8 @@ def _run_chunk(
             "pid": os.getpid(),
             "units": len(outcomes),
             "wall_s": _time.perf_counter() - started,
+            "t0": t0,
+            "t1": _time.time(),
             "telemetry": tele.delta_since(before),
         }
     return outcomes, meta
@@ -418,6 +428,12 @@ def run_cells(
                 _TELEMETRY.inc("parallel.units_computed", meta["units"])
                 _TELEMETRY.observe("parallel.chunk_latency_s",
                                    meta["wall_s"])
+                # The chunk's wall-clock window, for the sweep
+                # timeline's worker lanes (repro.trace.timeline).
+                _TELEMETRY.emit("parallel.chunk", pid=meta["pid"],
+                                units=meta["units"],
+                                wall_s=meta["wall_s"],
+                                t0=meta.get("t0"), t1=meta.get("t1"))
             for pos, summaries, err in outcomes:
                 if err is not None:
                     if best_err is None or pos < best_err[0]:

@@ -104,6 +104,7 @@ def run_suite(
     policy_factory: Callable[[str], DvsPolicy] | None = None,
     faults: FaultPlan | None = None,
     workload_seed: int | None = None,
+    audit: bool = False,
 ) -> SuiteResult:
     """Run one workload under every policy (plus the no-DVS baseline).
 
@@ -112,15 +113,29 @@ def run_suite(
     name, the workload seed and the horizon, so one bad cell in a long
     sweep names its own reproduction instead of surfacing a bare
     engine exception with no context.
+
+    ``audit=True`` records a trace for every run and puts it through
+    :func:`repro.analysis.audit_trace`; any violation raises a
+    :class:`~repro.errors.SuiteExecutionError` naming the broken
+    invariants.  Per-policy summaries are unaffected by tracing, so an
+    audited suite folds byte-identically to an unaudited one.
     """
     factory = policy_factory or (
         lambda name: make_policy(name, overhead_aware=overhead_aware))
 
     def run_one(name: str, policy: DvsPolicy) -> SimulationResult:
         try:
+            if audit:
+                return _audited_run(
+                    taskset, processor, policy, execution_model,
+                    horizon=horizon, allow_misses=allow_misses,
+                    faults=faults, policy_name=name,
+                    workload_seed=workload_seed)
             return simulate(taskset, processor, policy,
                             execution_model, horizon=horizon,
                             allow_misses=allow_misses, faults=faults)
+        except SuiteExecutionError:
+            raise
         except Exception as exc:
             raise SuiteExecutionError(
                 f"policy {name!r} failed on workload seed={workload_seed} "
@@ -135,7 +150,60 @@ def run_suite(
         if name == "none":
             continue
         results[name] = run_one(name, factory(name))
+    if audit:
+        TELEMETRY.inc("audit.units")
     return SuiteResult(results=results, baseline=baseline)
+
+
+def _audited_run(
+    taskset: TaskSet,
+    processor: Processor,
+    policy: DvsPolicy,
+    execution_model: ExecutionModel,
+    *,
+    horizon: Time,
+    allow_misses: bool,
+    faults: FaultPlan | None,
+    policy_name: str,
+    workload_seed: int | None,
+) -> SimulationResult:
+    """One traced run put through the schedule invariant auditor.
+
+    The audit consumes the simulator's own (possibly fault-wrapped)
+    workload models, so demands and arrivals are exactly what the
+    engine sampled.  On violation the offending trace is dumped as a
+    JSONL artifact next to the telemetry manifests (when a manifest
+    directory is configured) before the error propagates.
+    """
+    from repro.analysis.audit import audit_trace, render_violations
+    from repro.sim.engine import Simulator
+
+    sim = Simulator(taskset, processor, policy, execution_model,
+                    horizon=horizon, record_trace=True,
+                    allow_misses=allow_misses, faults=faults)
+    result = sim.run()
+    violations = audit_trace(result, sim.taskset, sim.processor,
+                             sim.execution_model, sim.arrival_model)
+    TELEMETRY.inc("audit.runs")
+    if violations:
+        TELEMETRY.inc("audit.violations", len(violations))
+        artifact = ""
+        if TELEMETRY.manifest_dir is not None:
+            from repro.trace.jsonl import write_trace_jsonl
+            path = (TELEMETRY.manifest_dir / "traces" /
+                    f"violation_{policy_name}_seed{workload_seed}.jsonl")
+            write_trace_jsonl(result, path,
+                              label=f"{policy_name} seed={workload_seed}")
+            TELEMETRY.emit("audit.violation_trace", path=str(path),
+                           policy=policy_name)
+            artifact = f" (trace dumped to {path})"
+        raise SuiteExecutionError(
+            f"schedule audit failed for policy {policy_name!r} "
+            f"seed={workload_seed}: "
+            f"{render_violations(violations)}{artifact}",
+            policy=policy_name, workload_seed=workload_seed,
+            horizon=float(horizon))
+    return result
 
 
 @dataclass
@@ -300,6 +368,7 @@ def sweep(
     chunk_size: int | None = None,
     cache_dir: str | Path | None = None,
     workload_id: str | None = None,
+    audit_every: int | None = None,
 ) -> list[SweepCell]:
     """The generic experiment sweep.
 
@@ -339,9 +408,21 @@ def sweep(
     *make_workload*, *processor_factory* or *policy_factory* beyond
     the keyed scalars (x, seed, policies, horizon, flags, faults),
     because closures themselves cannot be fingerprinted.
+
+    *audit_every* turns on spot-auditing: every N-th **(cell, seed)
+    unit** — counted in index-major seed order, the same positions in
+    the serial and parallel paths — runs with tracing enabled and its
+    schedule is checked by :func:`repro.analysis.audit_trace`; any
+    violation aborts the sweep with a
+    :class:`~repro.errors.SuiteExecutionError` naming the invariant.
+    Cache hits replay without re-auditing (their suites never re-run),
+    and audited summaries are byte-identical to unaudited ones.
     """
     if not xs:
         raise ExperimentError("sweep needs at least one x value")
+    if audit_every is not None and audit_every < 1:
+        raise ExperimentError(
+            f"audit_every must be >= 1, got {audit_every}")
     if max_retries < 0:
         raise ExperimentError(
             f"max_retries must be >= 0, got {max_retries}")
@@ -384,7 +465,8 @@ def sweep(
 
     def compute_cell(index: int, x: float) -> SweepCell:
         cell = SweepCell(x=float(x))
-        for seed in taskset_seeds(master_seed, n_tasksets):
+        for seed_pos, seed in enumerate(
+                taskset_seeds(master_seed, n_tasksets)):
             key = unit_key(float(x), seed) if cache is not None else None
             summaries = cache.get(key) if cache is not None else None
             if summaries is None:
@@ -400,7 +482,10 @@ def sweep(
                                     if policy_factory else None),
                     faults=(faults_factory(float(x), seed)
                             if faults_factory else None),
-                    workload_seed=seed)
+                    workload_seed=seed,
+                    audit=(audit_every is not None
+                           and (index * n_tasksets + seed_pos)
+                           % audit_every == 0))
                 summaries = suite.policy_summaries()
                 if cache is not None:
                     cache.put(key, summaries)
@@ -439,6 +524,8 @@ def sweep(
                             "faults_factory": faults_factory,
                             "max_retries": max_retries,
                             "retry_backoff": retry_backoff,
+                            "audit_every": audit_every,
+                            "n_seeds": n_tasksets,
                         },
                         workers=workers, checkpointer=checkpointer,
                         cache=cache, unit_key=unit_key,
@@ -506,6 +593,7 @@ def sweep(
         },
         workers=workers,
         faults_injected=faults_factory is not None,
+        audit_every=audit_every,
         checkpoint_dir=checkpoint_dir,
         workload_id=workload_id)
     return cells
@@ -517,6 +605,7 @@ def _write_sweep_manifest(
     fingerprint: dict,
     workers: int,
     faults_injected: bool,
+    audit_every: int | None,
     checkpoint_dir: str | Path | None,
     workload_id: str | None,
 ) -> Path | None:
@@ -551,6 +640,12 @@ def _write_sweep_manifest(
         workers={"pool_workers": workers,
                  "per_worker": delta["workers"]},
         faults={"injected": faults_injected},
+        audit=(None if audit_every is None else {
+            "every": audit_every,
+            "units": counters.get("audit.units", 0),
+            "runs": counters.get("audit.runs", 0),
+            "violations": counters.get("audit.violations", 0),
+        }),
         git_rev=git_revision(),
     )
     path = manifest.write(next_manifest_path(directory, label))

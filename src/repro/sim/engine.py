@@ -36,14 +36,18 @@ from repro.tasks.arrivals import ArrivalModel, PeriodicArrival
 from repro.tasks.execution import ExecutionModel, WorstCaseExecution
 from repro.tasks.job import Job
 from repro.tasks.taskset import TaskSet
-from repro.types import TIME_EPS, Speed, Time
+from repro.types import (
+    DEADLINE_EPS,
+    SPEED_EPS,
+    TIME_EPS,
+    WORK_EPS,
+    Speed,
+    Time,
+)
 
 if TYPE_CHECKING:
     from repro.policies.base import DvsPolicy
     from repro.policies.procrastination import IdlePolicy
-
-#: Remaining work below this is treated as completion (float dust).
-_WORK_EPS = 1e-9
 
 
 class SimContext:
@@ -418,7 +422,7 @@ class Simulator:
 
     def _check_misses(self) -> None:
         """Detect active jobs whose deadline has already passed."""
-        fence = self._now - 1e-6
+        fence = self._now - DEADLINE_EPS
         for job in self._active:
             if job.deadline < fence and job.name not in self._missed_jobs:
                 self._register_miss(job, detected_at=self._now)
@@ -429,6 +433,8 @@ class Simulator:
                             deadline=job.deadline, detected_at=detected_at)
         self._result.deadline_misses.append(miss)
         self._result.task_stats[job.task.name].missed += 1
+        self._trace.note(detected_at, "deadline-miss",
+                         f"{job.name}: deadline {job.deadline:g}")
         if not self.allow_misses:
             raise DeadlineMissError(
                 f"job {job.name} missed its deadline {job.deadline:g} "
@@ -488,10 +494,10 @@ class Simulator:
                 f"policy {self._result.policy} returned invalid speed "
                 f"{desired!r}")
         speed = self.processor.quantize(desired)
-        if speed <= 0 or speed > 1.0 + 1e-9:
+        if speed <= 0 or speed > 1.0 + TIME_EPS:
             raise PolicyError(
                 f"quantized speed {speed} outside (0, 1]")
-        if abs(speed - self._current_speed) <= 1e-12:
+        if abs(speed - self._current_speed) <= SPEED_EPS:
             return self._current_speed
         extra_dt = 0.0
         if self.faults is not None and self.faults.affects_transitions:
@@ -500,14 +506,14 @@ class Simulator:
             self._switch_attempts += 1
             if outcome.faulted:
                 self._result.transition_faults += 1
-            if abs(outcome.achieved - self._current_speed) <= 1e-12:
+            if abs(outcome.achieved - self._current_speed) <= SPEED_EPS:
                 # The switch failed outright: no cost, speed holds.
                 self._trace.note(self._now, "transition-fault",
                                  f"stuck at {self._current_speed:g} "
                                  f"(wanted {speed:g})")
                 self._check_misses()
                 return self._current_speed
-            if abs(outcome.achieved - speed) > 1e-12:
+            if abs(outcome.achieved - speed) > SPEED_EPS:
                 self._trace.note(self._now, "transition-fault",
                                  f"quantized {speed:g} -> "
                                  f"{outcome.achieved:g}")
@@ -516,7 +522,7 @@ class Simulator:
             # the achieved speed never drops below the request.
             speed = self.processor.quantize(min(1.0, outcome.achieved))
             extra_dt = outcome.extra_time
-            if abs(speed - self._current_speed) <= 1e-12:
+            if abs(speed - self._current_speed) <= SPEED_EPS:
                 # Faulty quantization landed back on the current level.
                 self._check_misses()
                 return self._current_speed
@@ -600,7 +606,7 @@ class Simulator:
         self._now = next_point
         self._last_running = job
 
-        if job.remaining_work <= _WORK_EPS:
+        if job.remaining_work <= WORK_EPS:
             self._complete(job)
         self._process_releases()
 
@@ -613,7 +619,8 @@ class Simulator:
         response = job.response_time or 0.0
         stats.total_response += response
         stats.max_response = max(stats.max_response, response)
-        if not job.met_deadline(eps=1e-6) and job.name not in self._missed_jobs:
+        if not job.met_deadline(eps=DEADLINE_EPS) \
+                and job.name not in self._missed_jobs:
             self._register_miss(job, detected_at=self._now)
         self._last_running = None
         self.policy.on_completion(job, self._ctx)

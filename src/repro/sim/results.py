@@ -88,6 +88,16 @@ class SimulationResult:
         """The buffered annotations of one kind (e.g. ``"governor"``)."""
         return tuple(n for n in self.notes if n.kind == kind)
 
+    def energy_ledger(self):
+        """Per-task/per-job energy attribution for this traced run.
+
+        Requires ``record_trace=True``; see
+        :class:`repro.trace.ledger.EnergyLedger`.
+        """
+        from repro.trace.ledger import EnergyLedger
+
+        return EnergyLedger.from_result(self)
+
     def normalized_energy(self, baseline: "SimulationResult") -> float:
         """This run's energy relative to *baseline* (same workload)."""
         if abs(self.horizon - baseline.horizon) > 1e-6 * max(1.0, self.horizon):

@@ -14,7 +14,7 @@ from enum import Enum
 from typing import Iterator
 
 from repro.errors import SimulationError
-from repro.types import Energy, Speed, Time
+from repro.types import SPEED_EPS, TIME_EPS, Energy, Speed, Time
 
 
 class SegmentKind(Enum):
@@ -58,7 +58,7 @@ class Segment:
         return self.end - self.start
 
     def __post_init__(self) -> None:
-        if self.end < self.start - 1e-12:
+        if self.end < self.start - SPEED_EPS:
             raise SimulationError(
                 f"segment ends before it starts: [{self.start}, {self.end}]")
 
@@ -108,13 +108,13 @@ class TraceRecorder:
             return
         if self._segments:
             last = self._segments[-1]
-            if segment.start < last.end - 1e-9:
+            if segment.start < last.end - TIME_EPS:
                 raise SimulationError(
                     f"overlapping segments: previous ends at {last.end}, "
                     f"new starts at {segment.start}")
             if (segment.kind == last.kind and segment.job == last.job
-                    and abs(segment.speed - last.speed) < 1e-12
-                    and abs(segment.start - last.end) < 1e-9):
+                    and abs(segment.speed - last.speed) < SPEED_EPS
+                    and abs(segment.start - last.end) < TIME_EPS):
                 merged = Segment(
                     start=last.start, end=segment.end, kind=last.kind,
                     speed=last.speed, energy=last.energy + segment.energy,
@@ -163,27 +163,38 @@ class TraceRecorder:
                    and (job is None or s.job == job))
 
     def render_gantt(self, width: int = 80, end: Time | None = None) -> str:
-        """A coarse ASCII Gantt strip (one char per time bucket)."""
+        """A coarse ASCII Gantt strip (one char per time bucket).
+
+        One merge-walk over the (sorted) segment list: bucket midpoints
+        and segments advance together, so rendering is O(width +
+        segments) instead of rescanning the whole list per bucket.
+        Buckets outside every segment — beyond the end of the trace, or
+        inside a genuine recording gap — render as ``_``, distinct from
+        ``.`` which marks *recorded* idle time.
+        """
         if not self._segments:
             return "(empty trace)"
         horizon = end if end is not None else self._segments[-1].end
         if horizon <= 0:
             return "(empty trace)"
         bucket = horizon / width
+        segments = self._segments
         chars = []
+        cursor = 0
         for i in range(width):
             t_mid = (i + 0.5) * bucket
-            label = "."
-            for seg in self._segments:
-                if seg.start <= t_mid < seg.end:
-                    if seg.kind == SegmentKind.IDLE:
-                        label = "."
-                    elif seg.kind == SegmentKind.SWITCH:
-                        label = "|"
-                    elif seg.kind == SegmentKind.SLEEP:
-                        label = "z"
-                    else:
-                        label = (seg.task or "?")[0].upper()
-                    break
-            chars.append(label)
+            while cursor < len(segments) and segments[cursor].end <= t_mid:
+                cursor += 1
+            if cursor >= len(segments) or segments[cursor].start > t_mid:
+                chars.append("_")  # unrecorded: past the trace, or a gap
+                continue
+            seg = segments[cursor]
+            if seg.kind == SegmentKind.IDLE:
+                chars.append(".")
+            elif seg.kind == SegmentKind.SWITCH:
+                chars.append("|")
+            elif seg.kind == SegmentKind.SLEEP:
+                chars.append("z")
+            else:
+                chars.append((seg.task or "?")[0].upper())
         return "".join(chars)

@@ -31,7 +31,8 @@ from typing import Any, Mapping
 from repro.errors import ExperimentError
 
 #: Bumped when the manifest layout changes; loaders refuse newer files.
-MANIFEST_SCHEMA = 1
+#: 2: added the ``audit`` block (spot-audit coverage and violations).
+MANIFEST_SCHEMA = 2
 
 
 def git_revision(repo_dir: str | Path | None = None) -> str:
@@ -57,6 +58,7 @@ class RunManifest:
     cache: dict = field(default_factory=dict)
     workers: dict = field(default_factory=dict)
     faults: dict | None = None
+    audit: dict | None = None
     code_epoch: str = ""
     git_rev: str = ""
     created: str = ""
@@ -110,6 +112,7 @@ class RunManifest:
             "cache": self.cache,
             "workers": self.workers,
             "faults": self.faults,
+            "audit": self.audit,
         }
 
     def write(self, path: str | Path) -> Path:
@@ -142,6 +145,7 @@ class RunManifest:
             cache=dict(payload.get("cache", {})),
             workers=dict(payload.get("workers", {})),
             faults=payload.get("faults"),
+            audit=payload.get("audit"),
             code_epoch=str(payload.get("code_epoch", "")),
             git_rev=str(payload.get("git_rev", "")),
             created=str(payload.get("created", "")),
@@ -235,6 +239,10 @@ def render_manifest(manifest: RunManifest) -> str:
         rendered = ", ".join(f"{k}={_fmt(v)}"
                              for k, v in sorted(manifest.faults.items()))
         lines.append(f"  faults: {rendered}")
+    if manifest.audit:
+        rendered = ", ".join(f"{k}={_fmt(v)}"
+                             for k, v in sorted(manifest.audit.items()))
+        lines.append(f"  audit: {rendered}")
     if manifest.counters:
         lines.append("  counters:")
         for name in sorted(manifest.counters):

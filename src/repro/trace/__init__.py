@@ -1,0 +1,58 @@
+"""Trace-grade observability: exporters, energy ledger, trace diff.
+
+The simulation engine already records a gap-free schedule trace
+(:mod:`repro.sim.tracing`); this package turns that stream into
+first-class artifacts:
+
+* :mod:`repro.trace.chrome` — Chrome trace-event JSON (loadable in
+  Perfetto / ``chrome://tracing``): one lane per task plus idle /
+  switch / sleep lanes, notes as instant events, speed as a counter
+  track;
+* :mod:`repro.trace.jsonl` — a compact, schema-versioned JSONL trace
+  format for machine consumption and byte-level comparison;
+* :mod:`repro.trace.ledger` — :class:`~repro.trace.ledger.EnergyLedger`,
+  attributing every joule of a run to per-job / per-task run energy
+  plus idle / switch / sleep buckets, with exact conservation against
+  :attr:`~repro.sim.results.SimulationResult.total_energy`;
+* :mod:`repro.trace.diff` — first-divergent-segment comparison between
+  two traces (the triage tool for "parallel == serial" and
+  "cache == recompute" claims);
+* :mod:`repro.trace.timeline` — folds a sweep's telemetry event stream
+  (chunk dispatches, per-worker busy spans) into a worker-lane Chrome
+  trace so pool utilization is visually inspectable.
+
+The semantic counterpart — the invariant auditor that consumes these
+traces in CI — lives in :mod:`repro.analysis.audit`.
+"""
+
+from repro.trace.chrome import (
+    chrome_trace_events,
+    export_chrome_trace,
+)
+from repro.trace.diff import TraceDivergence, diff_docs, diff_traces
+from repro.trace.jsonl import (
+    TRACE_SCHEMA,
+    TraceDoc,
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
+from repro.trace.ledger import EnergyLedger
+from repro.trace.timeline import (
+    export_sweep_timeline,
+    sweep_timeline_events,
+)
+
+__all__ = [
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "TraceDivergence",
+    "diff_docs",
+    "diff_traces",
+    "TRACE_SCHEMA",
+    "TraceDoc",
+    "read_trace_jsonl",
+    "write_trace_jsonl",
+    "EnergyLedger",
+    "export_sweep_timeline",
+    "sweep_timeline_events",
+]

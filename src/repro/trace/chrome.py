@@ -1,0 +1,129 @@
+"""Chrome trace-event export: open a schedule in Perfetto.
+
+The exported file is the `Trace Event Format`_ JSON that Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` load directly:
+
+* one thread lane per task, holding its jobs as complete (``X``)
+  events with speed/energy in ``args``;
+* dedicated lanes for idle, speed-switch and sleep segments;
+* trace notes (governor interventions, injected faults, overruns,
+  deadline misses) as instant (``i``) events on a ``notes`` lane;
+* the processor speed as a counter (``C``) track, stepping at every
+  segment boundary.
+
+Simulation time is unitless; one simulated time unit is exported as
+one second (the format's ``ts`` field is microseconds).  Events are
+emitted sorted by timestamp, so consumers that require monotonic
+streams can ingest the file without re-sorting.
+
+.. _Trace Event Format: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+from repro.sim.tracing import SegmentKind
+
+#: Simulated time units -> trace microseconds (1 unit = 1 s).
+TIME_SCALE = 1e6
+
+#: The schedule process id used for every lane.
+_PID = 0
+
+
+def _lane_map(result: SimulationResult) -> dict[str, int]:
+    """Stable lane (tid) assignment: tasks first, then activity lanes."""
+    tasks = sorted({seg.task for seg in result.trace
+                    if seg.kind == SegmentKind.RUN and seg.task})
+    lanes = {task: tid for tid, task in enumerate(tasks, start=1)}
+    base = len(tasks)
+    lanes["(idle)"] = base + 1
+    lanes["(switch)"] = base + 2
+    lanes["(sleep)"] = base + 3
+    lanes["(notes)"] = base + 4
+    return lanes
+
+
+def chrome_trace_events(result: SimulationResult) -> list[dict]:
+    """The run's trace as a sorted list of Chrome trace events."""
+    if result.trace is None:
+        raise ConfigurationError(
+            "cannot export a Chrome trace without a trace; run with "
+            "record_trace=True")
+    lanes = _lane_map(result)
+    meta: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": _PID,
+        "args": {"name": f"schedule [{result.policy}]"},
+    }]
+    for name, tid in lanes.items():
+        meta.append({"name": "thread_name", "ph": "M", "pid": _PID,
+                     "tid": tid, "args": {"name": name}})
+        meta.append({"name": "thread_sort_index", "ph": "M", "pid": _PID,
+                     "tid": tid, "args": {"sort_index": tid}})
+
+    events: list[dict] = []
+
+    def counter(ts: float, speed: float) -> None:
+        events.append({"name": "speed", "ph": "C", "pid": _PID,
+                       "ts": ts, "args": {"speed": speed}})
+
+    last_speed: float | None = None
+    last_end = 0.0
+    for seg in result.trace:
+        ts = seg.start * TIME_SCALE
+        dur = seg.duration * TIME_SCALE
+        last_end = max(last_end, seg.end * TIME_SCALE)
+        if seg.kind == SegmentKind.RUN:
+            tid = lanes[seg.task or "(idle)"]
+            name = seg.job or "?"
+            speed = seg.speed
+        elif seg.kind == SegmentKind.IDLE:
+            tid, name, speed = lanes["(idle)"], "idle", 0.0
+        elif seg.kind == SegmentKind.SWITCH:
+            tid, name, speed = (lanes["(switch)"],
+                                f"switch->{seg.speed:g}", seg.speed)
+        else:
+            tid, name, speed = lanes["(sleep)"], "sleep", 0.0
+        events.append({
+            "name": name, "cat": seg.kind.value, "ph": "X",
+            "ts": ts, "dur": dur, "pid": _PID, "tid": tid,
+            "args": {"speed": seg.speed, "energy": seg.energy},
+        })
+        if last_speed is None or speed != last_speed:
+            counter(ts, speed)
+            last_speed = speed
+    if last_speed is not None and last_speed != 0.0:
+        counter(last_end, 0.0)
+
+    for note in result.notes:
+        events.append({
+            "name": note.kind, "cat": "note", "ph": "i", "s": "t",
+            "ts": note.time * TIME_SCALE, "pid": _PID,
+            "tid": lanes["(notes)"],
+            "args": {"detail": note.detail},
+        })
+
+    events.sort(key=lambda e: e["ts"])
+    return meta + events
+
+
+def export_chrome_trace(result: SimulationResult,
+                        path: str | Path) -> Path:
+    """Write the run's Chrome trace JSON to *path*."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "traceEvents": chrome_trace_events(result),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "policy": result.policy,
+            "horizon": result.horizon,
+            "total_energy": result.total_energy,
+        },
+    }
+    path.write_text(json.dumps(payload) + "\n")
+    return path

@@ -1,0 +1,112 @@
+"""First-divergent-segment comparison between two schedule traces.
+
+The byte-identity claims this repo makes — parallel == serial,
+cache == recompute, resume == uninterrupted — were until now verified
+only at the aggregate level (normalized-energy cells).  When such a
+claim breaks, the actionable datum is *where the schedules first
+differ*: which segment, which field, by how much.  :func:`diff_traces`
+walks two segment streams in lockstep and reports exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.sim.tracing import Segment, TraceNote
+from repro.trace.jsonl import TraceDoc
+from repro.types import SPEED_EPS, TIME_EPS
+
+#: Relative tolerance for per-segment energy comparison.
+ENERGY_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class TraceDivergence:
+    """The first point at which two traces disagree."""
+
+    index: int
+    field: str
+    a: object
+    b: object
+    time: float
+
+    def render(self) -> str:
+        return (f"traces diverge at segment {self.index} "
+                f"(t={self.time:g}): {self.field} {self.a!r} != "
+                f"{self.b!r}")
+
+
+def _first_segment_divergence(
+    a: Sequence[Segment], b: Sequence[Segment],
+    time_eps: float, speed_eps: float, energy_rel: float,
+) -> TraceDivergence | None:
+    for index, (sa, sb) in enumerate(zip(a, b)):
+        checks = (
+            ("start", sa.start, sb.start,
+             abs(sa.start - sb.start) > time_eps),
+            ("end", sa.end, sb.end, abs(sa.end - sb.end) > time_eps),
+            ("kind", sa.kind.value, sb.kind.value, sa.kind != sb.kind),
+            ("job", sa.job, sb.job, sa.job != sb.job),
+            ("task", sa.task, sb.task, sa.task != sb.task),
+            ("speed", sa.speed, sb.speed,
+             abs(sa.speed - sb.speed) > speed_eps),
+            ("energy", sa.energy, sb.energy,
+             abs(sa.energy - sb.energy)
+             > energy_rel * max(1.0, abs(sa.energy))),
+        )
+        for field, va, vb, differs in checks:
+            if differs:
+                return TraceDivergence(index=index, field=field,
+                                       a=va, b=vb, time=sa.start)
+    if len(a) != len(b):
+        index = min(len(a), len(b))
+        longer = a if len(a) > len(b) else b
+        return TraceDivergence(
+            index=index, field="segment-count", a=len(a), b=len(b),
+            time=longer[index].start if index < len(longer) else 0.0)
+    return None
+
+
+def diff_traces(
+    a: Iterable[Segment], b: Iterable[Segment],
+    *, time_eps: float = TIME_EPS, speed_eps: float = SPEED_EPS,
+    energy_rel: float = ENERGY_REL_TOL,
+) -> TraceDivergence | None:
+    """First divergent segment between two traces (``None`` = equal).
+
+    Accepts anything iterable over :class:`Segment` — a live
+    :class:`~repro.sim.tracing.TraceRecorder` or a loaded
+    :class:`~repro.trace.jsonl.TraceDoc` alike.
+    """
+    return _first_segment_divergence(
+        tuple(a), tuple(b), time_eps, speed_eps, energy_rel)
+
+
+def _first_note_divergence(
+    a: Sequence[TraceNote], b: Sequence[TraceNote], time_eps: float,
+) -> TraceDivergence | None:
+    for index, (na, nb) in enumerate(zip(a, b)):
+        for field, va, vb, differs in (
+                ("note-time", na.time, nb.time,
+                 abs(na.time - nb.time) > time_eps),
+                ("note-kind", na.kind, nb.kind, na.kind != nb.kind),
+                ("note-detail", na.detail, nb.detail,
+                 na.detail != nb.detail)):
+            if differs:
+                return TraceDivergence(index=index, field=field,
+                                       a=va, b=vb, time=na.time)
+    if len(a) != len(b):
+        return TraceDivergence(index=min(len(a), len(b)),
+                               field="note-count", a=len(a), b=len(b),
+                               time=0.0)
+    return None
+
+
+def diff_docs(a: TraceDoc, b: TraceDoc,
+              *, time_eps: float = TIME_EPS) -> TraceDivergence | None:
+    """Diff two loaded trace documents: segments first, then notes."""
+    divergence = diff_traces(a.segments, b.segments, time_eps=time_eps)
+    if divergence is not None:
+        return divergence
+    return _first_note_divergence(a.notes, b.notes, time_eps)

@@ -1,0 +1,136 @@
+"""Compact schema-versioned JSONL schedule traces.
+
+One header line, then one line per segment, then one line per note —
+append-friendly, streamable, and diffable line-by-line.  The header
+carries a ``schema`` version; readers refuse files newer than they
+understand (the same strictness as the telemetry run manifests) and
+fail loudly on malformed lines instead of silently truncating.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError, TraceValidationError
+from repro.sim.results import SimulationResult
+from repro.sim.tracing import Segment, SegmentKind, TraceNote
+
+#: Bumped when the line layout changes; readers refuse newer files.
+TRACE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class TraceDoc:
+    """A trace read back from disk: header metadata plus the streams."""
+
+    meta: dict
+    segments: tuple[Segment, ...]
+    notes: tuple[TraceNote, ...]
+
+    @property
+    def policy(self) -> str:
+        return str(self.meta.get("policy", "?"))
+
+    @property
+    def horizon(self) -> float:
+        return float(self.meta.get("horizon", 0.0))
+
+    def __iter__(self):
+        return iter(self.segments)
+
+
+def write_trace_jsonl(result: SimulationResult, path: str | Path,
+                      *, label: str | None = None) -> Path:
+    """Export a traced run as schema-versioned JSONL."""
+    if result.trace is None:
+        raise ConfigurationError(
+            "cannot export a trace without a trace; run with "
+            "record_trace=True")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    segments = result.trace.segments
+    lines = [json.dumps({
+        "kind": "schedule-trace",
+        "schema": TRACE_SCHEMA,
+        "label": label or result.policy,
+        "policy": result.policy,
+        "horizon": result.horizon,
+        "total_energy": result.total_energy,
+        "segments": len(segments),
+        "notes": len(result.notes),
+    })]
+    for seg in segments:
+        record = {"t": "seg", "kind": seg.kind.value, "start": seg.start,
+                  "end": seg.end, "speed": seg.speed, "energy": seg.energy}
+        if seg.job is not None:
+            record["job"] = seg.job
+        if seg.task is not None:
+            record["task"] = seg.task
+        lines.append(json.dumps(record))
+    for note in result.notes:
+        lines.append(json.dumps({"t": "note", "time": note.time,
+                                 "kind": note.kind,
+                                 "detail": note.detail}))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_trace_jsonl(path: str | Path) -> TraceDoc:
+    """Load a JSONL trace, validating the header and line counts."""
+    path = Path(path)
+    try:
+        raw_lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise TraceValidationError(
+            f"cannot read trace {path}: {exc}") from exc
+    if not raw_lines:
+        raise TraceValidationError(f"trace {path} is empty")
+
+    def parse(index: int, line: str) -> dict:
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceValidationError(
+                f"trace {path} line {index + 1} is not valid JSON: "
+                f"{exc}") from exc
+
+    meta = parse(0, raw_lines[0])
+    if meta.get("kind") != "schedule-trace":
+        raise TraceValidationError(
+            f"{path} is not a schedule trace (kind="
+            f"{meta.get('kind')!r})")
+    schema = int(meta.get("schema", -1))
+    if schema > TRACE_SCHEMA:
+        raise TraceValidationError(
+            f"trace schema {schema} is newer than this build "
+            f"understands ({TRACE_SCHEMA})")
+    segments: list[Segment] = []
+    notes: list[TraceNote] = []
+    for index, line in enumerate(raw_lines[1:], start=1):
+        if not line.strip():
+            continue
+        record = parse(index, line)
+        if record.get("t") == "seg":
+            segments.append(Segment(
+                start=float(record["start"]), end=float(record["end"]),
+                kind=SegmentKind(record["kind"]),
+                speed=float(record["speed"]),
+                energy=float(record["energy"]),
+                job=record.get("job"), task=record.get("task")))
+        elif record.get("t") == "note":
+            notes.append(TraceNote(time=float(record["time"]),
+                                   kind=str(record["kind"]),
+                                   detail=str(record["detail"])))
+        else:
+            raise TraceValidationError(
+                f"trace {path} line {index + 1} has unknown record "
+                f"type {record.get('t')!r}")
+    declared = meta.get("segments")
+    if declared is not None and int(declared) != len(segments):
+        raise TraceValidationError(
+            f"trace {path} declares {declared} segments but carries "
+            f"{len(segments)} — truncated or corrupted file")
+    return TraceDoc(meta=meta, segments=tuple(segments),
+                    notes=tuple(notes))

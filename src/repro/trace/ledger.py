@@ -1,0 +1,146 @@
+"""Per-task / per-job energy attribution with exact conservation.
+
+An :class:`EnergyLedger` decomposes a traced run's total energy into
+
+* run energy, attributed to the job (and task) that was executing,
+* idle, switch and sleep energy (global buckets — no job is running),
+* a residual switch bucket for zero-duration transitions, whose energy
+  the engine accounts in :attr:`SimulationResult.switch_energy` but
+  which produce no trace segment to attach it to.
+
+Because every bucket is a plain sum over the same segment stream the
+engine integrated, conservation is exact by construction:
+``ledger.total == sum(buckets)``.  Whether that total also matches the
+*result's* ``total_energy`` is a genuine invariant —
+:meth:`EnergyLedger.check` reports any discrepancy per bucket, and the
+trace auditor (:func:`repro.analysis.audit.audit_trace`) surfaces them
+as typed violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+from repro.sim.tracing import SegmentKind
+from repro.types import Energy
+
+#: Relative tolerance for reconciling ledger buckets against the
+#: result's float-accumulated totals.
+LEDGER_REL_TOL = 1e-6
+
+
+@dataclass
+class EnergyLedger:
+    """Where every joule of one simulation went."""
+
+    policy: str
+    horizon: float
+    run_by_job: dict[str, Energy] = field(default_factory=dict)
+    run_by_task: dict[str, Energy] = field(default_factory=dict)
+    run_time_by_task: dict[str, float] = field(default_factory=dict)
+    idle: Energy = 0.0
+    switch: Energy = 0.0
+    sleep: Energy = 0.0
+    #: Switch energy present in the result totals but carried by
+    #: zero-duration transitions the trace recorder drops.
+    residual_switch: Energy = 0.0
+
+    @property
+    def run(self) -> Energy:
+        """Total run-bucket energy (sum over jobs)."""
+        return sum(self.run_by_job.values())
+
+    @property
+    def total(self) -> Energy:
+        """Sum of every bucket — conserved by construction."""
+        return (self.run + self.idle + self.switch + self.sleep
+                + self.residual_switch)
+
+    @classmethod
+    def from_result(cls, result: SimulationResult) -> "EnergyLedger":
+        """Build the ledger from a result that recorded its trace."""
+        if result.trace is None:
+            raise ConfigurationError(
+                "cannot build an energy ledger without a trace; run "
+                "with record_trace=True")
+        ledger = cls(policy=result.policy, horizon=result.horizon)
+        traced_switch = 0.0
+        for seg in result.trace:
+            if seg.kind == SegmentKind.RUN:
+                job = seg.job or "?"
+                task = seg.task or "?"
+                ledger.run_by_job[job] = (
+                    ledger.run_by_job.get(job, 0.0) + seg.energy)
+                ledger.run_by_task[task] = (
+                    ledger.run_by_task.get(task, 0.0) + seg.energy)
+                ledger.run_time_by_task[task] = (
+                    ledger.run_time_by_task.get(task, 0.0) + seg.duration)
+            elif seg.kind == SegmentKind.IDLE:
+                ledger.idle += seg.energy
+            elif seg.kind == SegmentKind.SWITCH:
+                traced_switch += seg.energy
+            else:
+                ledger.sleep += seg.energy
+        ledger.switch = traced_switch
+        ledger.residual_switch = result.switch_energy - traced_switch
+        return ledger
+
+    def check(self, result: SimulationResult,
+              rel_tol: float = LEDGER_REL_TOL) -> list[str]:
+        """Reconcile each bucket against the result's energy totals.
+
+        Returns human-readable discrepancy strings (empty = balanced).
+        """
+        problems: list[str] = []
+
+        def compare(name: str, mine: float, theirs: float) -> None:
+            if abs(mine - theirs) > rel_tol * max(1.0, abs(theirs)):
+                problems.append(
+                    f"{name}: ledger {mine!r} != result {theirs!r}")
+
+        compare("run", self.run, result.busy_energy)
+        compare("idle", self.idle, result.idle_energy)
+        compare("switch", self.switch + self.residual_switch,
+                result.switch_energy)
+        compare("sleep", self.sleep, result.sleep_energy)
+        compare("total", self.total, result.total_energy)
+        return problems
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": "energy-ledger",
+            "policy": self.policy,
+            "horizon": self.horizon,
+            "run_by_job": dict(self.run_by_job),
+            "run_by_task": dict(self.run_by_task),
+            "run_time_by_task": dict(self.run_time_by_task),
+            "idle": self.idle,
+            "switch": self.switch,
+            "sleep": self.sleep,
+            "residual_switch": self.residual_switch,
+            "total": self.total,
+        }
+
+    def render(self) -> str:
+        """ASCII table: per-task run energy, then the global buckets."""
+        total = self.total or 1.0
+        lines = [f"energy ledger: policy={self.policy} "
+                 f"horizon={self.horizon:g} total={self.total:.6g}"]
+        for task in sorted(self.run_by_task):
+            energy = self.run_by_task[task]
+            jobs = sum(1 for job in self.run_by_job
+                       if job.partition("#")[0] == task)
+            lines.append(
+                f"  run   {task:<12} {energy:12.6g}  "
+                f"({energy / total:6.1%}, {jobs} jobs, "
+                f"{self.run_time_by_task[task]:.6g} time units)")
+        for name, value in (("idle", self.idle), ("switch", self.switch),
+                            ("sleep", self.sleep)):
+            lines.append(f"  {name:<5} {'':<12} {value:12.6g}  "
+                         f"({value / total:6.1%})")
+        if abs(self.residual_switch) > 0:
+            lines.append(f"  switch (zero-duration residual) "
+                         f"{self.residual_switch:12.6g}")
+        return "\n".join(lines)

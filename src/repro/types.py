@@ -32,6 +32,19 @@ Energy: TypeAlias = float
 #: Absolute tolerance for time/work comparisons.
 TIME_EPS: float = 1e-9
 
+#: Tight tolerance for speed-identity (and exact-timestamp) checks:
+#: two quantized speeds within this are the *same* processor level, so
+#: no transition is needed and trace segments may merge.
+SPEED_EPS: float = 1e-12
+
+#: Remaining work below this is treated as completion (float dust from
+#: repeated ``remaining / speed`` round trips over long horizons).
+WORK_EPS: float = 1e-9
+
+#: Looser tolerance for completion-vs-deadline comparisons, where both
+#: sides have accumulated independent rounding error over a whole run.
+DEADLINE_EPS: float = 1e-6
+
 
 def approx_le(a: float, b: float, eps: float = TIME_EPS) -> bool:
     """Return ``True`` if *a* is less than or approximately equal to *b*."""

@@ -212,3 +212,108 @@ class TestRunPolicyAndTelemetry:
     def test_stats_on_empty_directory_fails(self, capsys, tmp_path):
         assert main(["stats", str(tmp_path)]) == 2
         assert "no manifest" in capsys.readouterr().err
+
+
+@pytest.mark.trace
+class TestTraceCommand:
+    WORKLOAD = ["--tasks", "4", "--utilization", "0.6",
+                "--seed", "3", "--horizon", "40"]
+
+    def test_export_chrome(self, capsys, tmp_path):
+        out = tmp_path / "sched.json"
+        assert main(["trace", "export", "--policy", "lpSTA",
+                     *self.WORKLOAD, "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        stamps = [e["ts"] for e in payload["traceEvents"]
+                  if e["ph"] != "M"]
+        assert stamps == sorted(stamps)
+
+    def test_export_jsonl_with_ledger(self, capsys, tmp_path):
+        out = tmp_path / "sched.jsonl"
+        assert main(["trace", "export", "--policy", "ccEDF",
+                     *self.WORKLOAD, "--out", str(out),
+                     "--ledger"]) == 0
+        assert "energy ledger" in capsys.readouterr().out
+        header = json.loads(out.read_text().splitlines()[0])
+        assert header["kind"] == "schedule-trace"
+
+    def test_export_unknown_policy(self, capsys, tmp_path):
+        assert main(["trace", "export", "--policy", "nope",
+                     "--out", str(tmp_path / "x.json")]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_audit_clean_run(self, capsys):
+        assert main(["trace", "audit", "--policy", "lpSTA",
+                     *self.WORKLOAD]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_audit_fault_injected_run(self, capsys):
+        assert main(["trace", "audit", "--policy", "lpSTA",
+                     "--faults", "overrun:1.4:0.3", "--governed",
+                     "--allow-misses", *self.WORKLOAD]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_diff_identical_and_divergent(self, capsys, tmp_path):
+        a, b, c = (tmp_path / name for name in
+                   ("a.jsonl", "b.jsonl", "c.jsonl"))
+        for path, policy in ((a, "lpSTA"), (b, "lpSTA"), (c, "ccEDF")):
+            assert main(["trace", "export", "--policy", policy,
+                         *self.WORKLOAD, "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert main(["trace", "diff", str(a), str(c)]) == 1
+        assert "diverge" in capsys.readouterr().out
+
+    def test_diff_unreadable_input(self, capsys, tmp_path):
+        missing = tmp_path / "missing.jsonl"
+        assert main(["trace", "diff", str(missing), str(missing)]) == 2
+        assert capsys.readouterr().err
+
+    def test_timeline_missing_events(self, capsys, tmp_path):
+        assert main(["trace", "timeline",
+                     str(tmp_path / "missing.jsonl"),
+                     "--out", str(tmp_path / "t.json")]) == 2
+        assert capsys.readouterr().err
+
+
+class TestStatsRenderer:
+    def test_renders_every_block(self, capsys, tmp_path):
+        from repro.telemetry.manifest import RunManifest
+        manifest = RunManifest(
+            label="unit-test",
+            fingerprint={"horizon": 40.0, "policies": ["ccEDF"]},
+            phases={"sweep.compute": {"count": 1, "wall_s": 1.25,
+                                      "cpu_s": 2.5}},
+            counters={"engine.runs": 4, "audit.units": 2},
+            histograms={"parallel.chunk_latency_s": {
+                "count": 2, "total": 3.0, "min": 1.0, "max": 2.0}},
+            cache={"hits": 3, "misses": 1, "writes": 1, "corrupt": 0},
+            workers={"pool_workers": 2,
+                     "per_worker": {"41": {"chunks": 1, "units": 2,
+                                           "busy_s": 1.0}}},
+            faults={"injected": True},
+            audit={"every": 2, "units": 2, "runs": 6, "violations": 0},
+        )
+        path = manifest.write(tmp_path / "manifest_unit_001.json")
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest: unit-test" in out
+        assert "sweep.compute" in out
+        assert "hit-rate 75.0%" in out
+        assert "pid 41" in out
+        assert "faults: injected=True" in out
+        assert "audit: every=2" in out and "violations=0" in out
+        assert "engine.runs" in out
+        assert "mean=1.5" in out
+
+    def test_round_trips_audit_block(self, tmp_path):
+        from repro.telemetry.manifest import RunManifest
+        manifest = RunManifest(label="rt", fingerprint={},
+                               audit={"every": 3, "violations": 1})
+        loaded = RunManifest.load(
+            manifest.write(tmp_path / "manifest_rt_001.json"))
+        assert loaded.audit == {"every": 3, "violations": 1}
+        assert loaded.schema == 2

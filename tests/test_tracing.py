@@ -84,6 +84,50 @@ class TestGantt:
     def test_empty_trace(self):
         assert "empty" in TraceRecorder().render_gantt()
 
+    def test_unrecorded_tail_distinct_from_idle(self):
+        # Buckets past the last segment are *unrecorded*, not idle:
+        # they render "_" while a true recorded idle renders ".".
+        rec = TraceRecorder()
+        rec.run(0.0, 4.0, "alpha#0", "alpha", 1.0, 1.0)
+        rec.idle(4.0, 6.0, 0.0)
+        strip = rec.render_gantt(width=10, end=10.0)
+        assert strip == "AAAA..____"
+
+    def test_gap_between_segments_renders_unrecorded(self):
+        rec = TraceRecorder()
+        rec.run(0.0, 2.0, "alpha#0", "alpha", 1.0, 1.0)
+        rec.run(8.0, 10.0, "beta#0", "beta", 1.0, 1.0)
+        strip = rec.render_gantt(width=10, end=10.0)
+        assert strip == "AA______BB"
+
+    def test_switch_and_sleep_glyphs(self):
+        rec = TraceRecorder()
+        rec.run(0.0, 4.0, "alpha#0", "alpha", 1.0, 1.0)
+        rec.switch(4.0, 6.0, 0.01, to_speed=0.5)
+        rec.sleep(6.0, 10.0, 0.0)
+        assert rec.render_gantt(width=10, end=10.0) == "AAAA||zzzz"
+
+
+class TestNotesOfKind:
+    def test_filters_by_kind(self):
+        rec = TraceRecorder()
+        rec.note(1.0, "governor", "A#0: raised 0.4000 -> 0.6000")
+        rec.note(2.0, "overrun", "B#1: 1.3x")
+        rec.note(3.0, "governor", "A#1: raised 0.3000 -> 0.5000")
+        governor = rec.notes_of_kind("governor")
+        assert [n.time for n in governor] == [1.0, 3.0]
+        assert all(n.kind == "governor" for n in governor)
+        assert rec.notes_of_kind("no-such-kind") == ()
+
+    def test_result_exposes_the_same_filter(self):
+        from repro.sim.results import SimulationResult
+        rec = TraceRecorder()
+        rec.note(1.0, "overrun", "B#1: 1.3x")
+        result = SimulationResult(policy="x", horizon=10.0,
+                                  notes=rec.notes)
+        assert result.notes_of_kind("overrun") == rec.notes_of_kind(
+            "overrun")
+
 
 class TestNotesAlwaysBuffered:
     """``note()`` records even when segment tracing is disabled.
