@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""CI gate: a sweep survives an injected worker crash and a hang.
+
+Runs a small parallel sweep under a deterministic chaos plan
+(:mod:`repro.experiments.chaos`) chosen so that exactly one unit kills
+its worker mid-flight (SIGKILL-style ``os._exit``) and one distinct
+unit hangs past its per-unit deadline.  At-most-once markers make every
+re-dispatch run clean, so the gate demands full recovery: the sweep
+must *complete*, quarantine nothing, and produce cells byte-identical
+to a clean serial run — while the ``resilience.*`` counters prove the
+supervision paths actually fired (a pool rebuild and a unit timeout).
+
+Exits non-zero on the first broken contract, printing what diverged,
+so a supervision or determinism regression fails fast CI even when a
+plain test run happens not to exercise the recovery paths.
+
+Usage: PYTHONPATH=src python scripts/chaos_gate.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments import chaos
+from repro.experiments.chaos import (
+    _CRASH_SALT,
+    _HANG_SALT,
+    ChaosPlan,
+    CrashChaos,
+    HangChaos,
+    _draw,
+)
+from repro.experiments.parallel import fork_available, shutdown_pool
+from repro.experiments.runner import (
+    bcwc_model,
+    standard_taskset,
+    sweep,
+    taskset_seeds,
+)
+from repro.telemetry import TELEMETRY
+
+XS = (0.4, 0.7)
+N_TASKSETS = 2
+HORIZON = 200.0
+POLICIES = ("static", "lpSTA")
+PROBABILITY = 0.25
+
+
+def workload(u: float, seed: int):
+    return standard_taskset(4, u, seed), bcwc_model(0.5, seed)
+
+
+def fingerprint(cells) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    for cell in cells:
+        digest.update(json.dumps(cell.to_payload()).encode())
+    return digest.hexdigest()
+
+
+def pick_plan_seed() -> tuple[int, tuple, tuple]:
+    """A plan seed whose crash and hang each hit exactly one distinct unit.
+
+    The chaos draw is a pure hash of (plan seed, salt, unit key), so
+    the doomed units are computable up front; scanning seeds keeps the
+    gate independent of hash details.
+    """
+    units = [(float(x), seed)
+             for x in XS for seed in taskset_seeds(2002, N_TASKSETS)]
+    for plan_seed in range(5000):
+        crash = [u for u in units
+                 if _draw(plan_seed, _CRASH_SALT,
+                          f"{u[0]!r}:{u[1]}") < PROBABILITY]
+        hang = [u for u in units
+                if _draw(plan_seed, _HANG_SALT,
+                         f"{u[0]!r}:{u[1]}") < PROBABILITY]
+        if len(crash) == 1 and len(hang) == 1 and crash[0] != hang[0]:
+            return plan_seed, crash[0], hang[0]
+    raise SystemExit("chaos gate: no suitable plan seed in 0..4999")
+
+
+def main() -> int:
+    if not fork_available():
+        print("chaos gate: fork() unavailable; skipping")
+        return 0
+
+    reference = sweep(XS, workload, POLICIES, n_tasksets=N_TASKSETS,
+                      horizon=HORIZON)
+    clean = fingerprint(reference)
+
+    plan_seed, crash_unit, hang_unit = pick_plan_seed()
+    print(f"chaos gate: plan seed {plan_seed} — crash on "
+          f"x={crash_unit[0]:g} seed={crash_unit[1]}, hang on "
+          f"x={hang_unit[0]:g} seed={hang_unit[1]}")
+
+    def chaotic_sweep(plan: ChaosPlan):
+        with chaos.active(plan):
+            return sweep(XS, workload, POLICIES,
+                         n_tasksets=N_TASKSETS, horizon=HORIZON,
+                         workers=2, unit_timeout=1.0, max_retries=1,
+                         retry_backoff=0.01, on_failure="quarantine")
+
+    TELEMETRY.reset()
+    TELEMETRY.configure(enabled=True)
+    try:
+        with tempfile.TemporaryDirectory() as markers:
+            plan = ChaosPlan(seed=plan_seed,
+                             crash=CrashChaos(probability=PROBABILITY),
+                             hang=HangChaos(probability=PROBABILITY,
+                                            duration=30.0),
+                             marker_dir=markers)
+            cells = chaotic_sweep(plan)
+            fired = sorted(p.name for p in Path(markers).glob("fired_*"))
+        # The crash can break the pool while the hang's chunk is in
+        # flight, losing that worker's counter delta — so prove the
+        # deadline path on its own, with a hang-only plan the pool
+        # survives intact.
+        with tempfile.TemporaryDirectory() as markers:
+            hang_cells = chaotic_sweep(ChaosPlan(
+                seed=plan_seed,
+                hang=HangChaos(probability=PROBABILITY, duration=30.0),
+                marker_dir=markers))
+    finally:
+        shutdown_pool()
+        TELEMETRY.configure(enabled=False)
+
+    failures = []
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        print(f"{'ok  ' if ok else 'FAIL'} {label}"
+              + (f": {detail}" if detail and not ok else ""))
+        if not ok:
+            failures.append(label)
+
+    check("crash injected", any(n.startswith("fired_crash_")
+                                for n in fired), f"markers={fired}")
+    check("hang injected", any(n.startswith("fired_hang_")
+                               for n in fired), f"markers={fired}")
+    quarantined = [r for cell in cells + hang_cells
+                   for r in cell.quarantined]
+    check("nothing quarantined", not quarantined,
+          f"{len(quarantined)} record(s): "
+          f"{[r['error_type'] for r in quarantined]}")
+    chaotic = fingerprint(cells)
+    check("byte-identical to clean run", chaotic == clean,
+          f"{chaotic} != {clean}")
+    check("hang-only run byte-identical",
+          fingerprint(hang_cells) == clean,
+          f"{fingerprint(hang_cells)} != {clean}")
+    check("pool rebuilt under supervision",
+          TELEMETRY.counter("resilience.pool_rebuilds") >= 1,
+          "resilience.pool_rebuilds == 0")
+    check("hang cut by unit deadline",
+          TELEMETRY.counter("resilience.unit_timeouts") >= 1,
+          "resilience.unit_timeouts == 0")
+
+    if failures:
+        print(f"chaos gate: {len(failures)} contract(s) broken")
+        return 1
+    print("chaos gate: crash and hang recovered, results byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,11 @@ PYTHONPATH=src python -m pytest -x -q -m telemetry
 # fault-matrix cell, every policy: fails on any Violation.
 PYTHONPATH=src python scripts/trace_audit_gate.py
 
+# Resilience contract: a sweep with one injected worker crash and one
+# injected hang must complete, quarantine nothing, and match the
+# clean-run fingerprint byte for byte.
+PYTHONPATH=src python scripts/chaos_gate.py
+
 latest=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
 if [[ -z "${latest}" ]]; then
     echo "no BENCH_*.json record found; skipping the perf guard"

@@ -41,7 +41,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.cpu.profiles import PROCESSOR_PROFILES, load_profile
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SweepInterrupted
 from repro.experiments.figures import FIGURES
 from repro.experiments.io import write_csv, write_json
 from repro.experiments.tables import TABLES
@@ -120,6 +120,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.unit_timeout is not None and args.unit_timeout <= 0:
+        print("--unit-timeout must be > 0", file=sys.stderr)
+        return 2
+    if args.unit_timeout is not None or args.quarantine:
+        # Process-wide defaults consulted by every sweep() the drivers
+        # run — the knobs apply without threading new parameters
+        # through every figure-driver signature.
+        from repro.experiments.resilience import set_execution_defaults
+        set_execution_defaults(
+            unit_timeout=args.unit_timeout,
+            on_failure="quarantine" if args.quarantine else None)
     if args.telemetry_dir or args.metrics_json:
         from repro.telemetry import TELEMETRY
         events = (Path(args.telemetry_dir) / "events.jsonl"
@@ -129,19 +140,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for name in names:
         started = time.time()
         if name in TABLES:
-            data = _call_driver(TABLES[name], args)
+            driver = TABLES[name]
         elif name in FIGURES:
-            data = _call_driver(FIGURES[name], args)
+            driver = FIGURES[name]
         else:
             known = ", ".join(list(TABLES) + list(FIGURES) + ["all"])
             print(f"unknown experiment {name!r}; known: {known}",
                   file=sys.stderr)
             return 2
+        try:
+            data = _call_driver(driver, args)
+        except SweepInterrupted as exc:
+            print(f"interrupted: {exc}", file=sys.stderr)
+            if args.checkpoint_dir:
+                print(f"resume with: repro run {name} --checkpoint-dir "
+                      f"{args.checkpoint_dir} --resume", file=sys.stderr)
+            return 130
+        except KeyboardInterrupt:
+            # A drain request that landed in a sweep's final moments is
+            # re-delivered on exit and surfaces here between sweeps.
+            print("interrupted: stopped between sweeps (completed "
+                  "sweeps are checkpointed)", file=sys.stderr)
+            if args.checkpoint_dir:
+                print(f"resume with: repro run {name} --checkpoint-dir "
+                      f"{args.checkpoint_dir} --resume", file=sys.stderr)
+            return 130
         print(data.render())
         if args.chart and hasattr(data, "render_chart"):
             print(data.render_chart())
         print(f"  ({time.time() - started:.1f}s)")
         _export(data, args.out)
+        if args.quarantine and args.checkpoint_dir:
+            from repro.experiments.resilience import quarantine_report
+            report = quarantine_report(args.checkpoint_dir)
+            if report != "no quarantined units":
+                print(report, file=sys.stderr)
         print()
     if args.metrics_json:
         from repro.telemetry import TELEMETRY
@@ -449,6 +482,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "(experiments that support it)")
     p_run.add_argument("--resume", action="store_true",
                        help="resume a killed sweep from its checkpoints")
+    p_run.add_argument("--unit-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock deadline per (cell, seed) unit: "
+                            "hung units are interrupted and retried, "
+                            "wedged workers killed and replaced")
+    p_run.add_argument("--quarantine", action="store_true",
+                       help="survive poison units: a unit that still "
+                            "fails after its retries is recorded under "
+                            "<checkpoint-dir>/quarantine/ and the sweep "
+                            "completes with a declared-partial result "
+                            "instead of dying")
     p_run.add_argument("--workers", type=int, default=1, metavar="N",
                        help="fan sweep cells out over N worker "
                             "processes (results are byte-identical to "

@@ -60,6 +60,63 @@ class ExperimentError(ReproError):
     """An experiment configuration or run failed."""
 
 
+class UnitTimeoutError(ExperimentError):
+    """One (cell, seed) unit exceeded its wall-clock deadline.
+
+    Raised by the per-unit deadline installed with
+    ``sweep(unit_timeout=...)``: the unit's simulation is interrupted
+    (in the worker, via SIGALRM) the moment its budget expires, so a
+    hung cell never stalls a sweep indefinitely.  Classified as
+    *transient* by the retry logic — a timeout may be load-induced —
+    so the unit is retried up to ``max_retries`` before it fails (or
+    is quarantined).
+    """
+
+    def __init__(self, message: str, *, x: float | None = None,
+                 workload_seed: int | None = None,
+                 timeout: float | None = None) -> None:
+        super().__init__(message)
+        self.x = x
+        self.workload_seed = workload_seed
+        self.timeout = timeout
+
+
+class WorkerCrashError(ExperimentError):
+    """A worker process died (OOM kill, segfault) while running a unit.
+
+    Synthesised by the parallel executor's supervision loop when a
+    unit, dispatched *solo* after repeated pool breakage, takes its
+    worker down with it — the only dispatch shape under which the
+    crash is unambiguously attributable to one unit.
+    """
+
+    def __init__(self, message: str, *, x: float | None = None,
+                 workload_seed: int | None = None,
+                 crashes: int = 0) -> None:
+        super().__init__(message)
+        self.x = x
+        self.workload_seed = workload_seed
+        self.crashes = crashes
+
+
+class SweepInterrupted(ExperimentError):
+    """A sweep was stopped by SIGINT/SIGTERM after a graceful drain.
+
+    By the time this propagates, in-flight work has been folded, every
+    completed cell has been checkpointed and the run manifest flushed
+    — so the sweep is resumable with ``resume=True`` (``--resume``)
+    against the same checkpoint directory.
+    """
+
+    def __init__(self, message: str, *, signal_number: int | None = None,
+                 completed_cells: int = 0,
+                 checkpoint_dir: str | None = None) -> None:
+        super().__init__(message)
+        self.signal_number = signal_number
+        self.completed_cells = completed_cells
+        self.checkpoint_dir = checkpoint_dir
+
+
 class SuiteExecutionError(ExperimentError):
     """One simulation inside an experiment suite failed.
 

@@ -30,16 +30,25 @@ readable-but-corrupt entry; unreadable entries read as misses and are
 recomputed.  Because :class:`PolicySummary` floats round-trip exactly
 through JSON, a cache-hit replay folds into byte-identical cells —
 ``tests/test_cell_cache.py`` pins that against serial cold runs.
+
+The cache also degrades instead of dying (DESIGN.md §11): a *corrupt*
+entry is unlinked on detection (self-healed — it would otherwise
+re-hit, and re-count ``cache.corrupt``, on every subsequent run), and
+a *failing write* (ENOSPC, permissions) switches the cache to
+read-only with a single warning rather than crashing the sweep —
+results are recomputed, never lost.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import sys
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Sequence
 
+from repro.experiments import chaos as _chaos
 from repro.telemetry import TELEMETRY as _TELEMETRY
 
 if TYPE_CHECKING:
@@ -146,6 +155,11 @@ class SuiteCache:
         self.misses = 0
         self.writes = 0
         self.corrupt = 0
+        self.self_healed = 0
+        self.write_errors = 0
+        #: Set after the first failed write: the cache keeps serving
+        #: hits but stops persisting — degraded, not dead.
+        self.read_only = False
 
     def _path(self, digest: str) -> Path:
         return self.directory / digest[:2] / f"{digest}.json"
@@ -170,10 +184,21 @@ class SuiteCache:
             # Present but torn or foreign: still a miss, never an
             # error — the suite is recomputed (and rewritten) — but
             # counted separately so a corrupted cache is visible.
+            # The shard itself is unlinked (self-healed): left on
+            # disk it would re-hit, and re-count as corrupt, on every
+            # subsequent run.
             self.misses += 1
             self.corrupt += 1
             _TELEMETRY.inc("cache.misses")
             _TELEMETRY.inc("cache.corrupt")
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass  # read-only cache dir: stay a per-run miss
+            else:
+                self.self_healed += 1
+                _TELEMETRY.inc("cache.self_healed")
+                _TELEMETRY.emit("cache.self_heal", path=str(path))
             return None
         self.hits += 1
         _TELEMETRY.inc("cache.hits")
@@ -187,9 +212,15 @@ class SuiteCache:
         The policy order is stored as an explicit list of pairs — it is
         the fold order :meth:`SweepCell.record_summaries` replays, so
         it must survive serialisation exactly.
+
+        A failing write (full disk, permissions) degrades the cache to
+        read-only — one warning, one ``resilience.cache_degraded``
+        count — instead of killing the sweep: a cache is an
+        accelerator, never a correctness dependency.
         """
+        if self.read_only:
+            return
         path = self._path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "schema": CACHE_SCHEMA,
             "key": dict(key_payload) if key_payload is not None else None,
@@ -197,8 +228,25 @@ class SuiteCache:
                       for name, summary in summaries.items()],
         }
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(entry))
-        tmp.replace(path)
+        try:
+            _chaos.on_artifact_write("cache", path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(entry))
+            tmp.replace(path)
+        except OSError as exc:
+            self.write_errors += 1
+            self.read_only = True
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            _TELEMETRY.inc("resilience.cache_degraded")
+            _TELEMETRY.emit("resilience.cache_degraded", path=str(path),
+                            error=str(exc))
+            print(f"warning: suite cache degraded to read-only "
+                  f"({exc}); results are recomputed, not lost",
+                  file=sys.stderr)
+            return
         self.writes += 1
         _TELEMETRY.inc("cache.writes")
 

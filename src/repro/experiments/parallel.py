@@ -47,7 +47,19 @@ workload seed and horizon and survives the process boundary.  Cells
 fully folded before the failure is surfaced are already checkpointed —
 at least the state a killed serial sweep leaves behind.  Retries run
 *inside* the worker at (cell, seed) granularity with the same
-exponential backoff as the serial per-cell retry.
+exponential backoff as the serial per-unit retry — classified, so
+deterministic failures skip the ladder.
+
+On top of that sits **supervision** (DESIGN.md §11): a worker *death*
+(not a reported failure — an OOM kill, segfault or injected chaos
+crash, which breaks the whole ``ProcessPoolExecutor``) triggers a
+pool rebuild and re-dispatch of only the unresolved units, with the
+dispatch shape escalating chunked → isolated → solo until the crash
+is attributable to one unit; a ``unit_timeout`` in the spec arms both
+an in-worker SIGALRM deadline and a parent-side stall watchdog that
+kills wedged workers.  Under ``on_failure="quarantine"`` exhausted
+units become structured quarantine records and the sweep completes
+partial instead of dying.
 """
 
 from __future__ import annotations
@@ -60,15 +72,28 @@ import time as _time
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
+    TimeoutError as _FuturesTimeout,
     wait,
 )
+from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.cpu.profiles import ideal_processor
+from repro.errors import UnitTimeoutError, WorkerCrashError
+from repro.experiments import chaos as _chaos
+from repro.experiments.resilience import (
+    QuarantinedCell,
+    retry_budget,
+    unit_deadline,
+)
 from repro.telemetry import TELEMETRY as _TELEMETRY
 
 if TYPE_CHECKING:
     from repro.experiments.cache import PolicySummary, SuiteCache
+    from repro.experiments.resilience import (
+        GracefulShutdown,
+        QuarantineStore,
+    )
     from repro.experiments.runner import SweepCell, SweepCheckpointer
 
 #: Sweep spec published by the parent before the pool forks; inherited
@@ -205,32 +230,47 @@ atexit.register(shutdown_pool)
 
 def _suite_summaries(spec: dict[str, Any], x: float, seed: int,
                      audit: bool = False) -> "dict[str, PolicySummary]":
-    """One (cell, seed) suite under *spec*, with in-worker retries."""
+    """One (cell, seed) suite under *spec*, with in-worker retries.
+
+    The worker-side twin of the runner's ``compute_unit``: the chaos
+    hook fires before the suite, the per-unit SIGALRM deadline (when
+    ``unit_timeout`` is in the spec) bounds its wall clock — pool
+    workers run tasks on their main thread, so the alarm is armable —
+    and retries are *classified*: deterministic failures get a zero
+    budget and fail fast.
+    """
     from repro.experiments.runner import run_suite
 
     processor_factory = spec["processor_factory"]
     policy_factory = spec["policy_factory"]
     faults_factory = spec["faults_factory"]
+    timeout = spec.get("unit_timeout")
     attempt = 0
     while True:
         try:
-            taskset, model = spec["make_workload"](x, seed)
-            processor = (processor_factory(x) if processor_factory
-                         else ideal_processor())
-            suite = run_suite(
-                taskset, spec["policy_names"], processor, model,
-                horizon=spec["horizon"],
-                overhead_aware=spec["overhead_aware"],
-                allow_misses=spec["allow_misses"],
-                policy_factory=(policy_factory(x)
-                                if policy_factory else None),
-                faults=(faults_factory(x, seed)
-                        if faults_factory else None),
-                workload_seed=seed,
-                audit=audit)
+            with unit_deadline(timeout, x=float(x), seed=seed):
+                # Inside the deadline, so an injected hang is
+                # interruptible exactly like a real one.
+                _chaos.on_unit_start(float(x), seed)
+                taskset, model = spec["make_workload"](x, seed)
+                processor = (processor_factory(x) if processor_factory
+                             else ideal_processor())
+                suite = run_suite(
+                    taskset, spec["policy_names"], processor, model,
+                    horizon=spec["horizon"],
+                    overhead_aware=spec["overhead_aware"],
+                    allow_misses=spec["allow_misses"],
+                    policy_factory=(policy_factory(x)
+                                    if policy_factory else None),
+                    faults=(faults_factory(x, seed)
+                            if faults_factory else None),
+                    workload_seed=seed,
+                    audit=audit)
             return suite.policy_summaries()
-        except Exception:
-            if attempt >= spec["max_retries"]:
+        except Exception as exc:
+            if isinstance(exc, UnitTimeoutError):
+                _TELEMETRY.inc("resilience.unit_timeouts")
+            if attempt >= retry_budget(exc, spec["max_retries"]):
                 raise
             _TELEMETRY.inc("sweep.retries")
             _TELEMETRY.emit("sweep.retry", x=x, seed=seed,
@@ -265,6 +305,7 @@ def _run_chunk(
     t0 = _time.time()
     audit_every = spec.get("audit_every")
     n_seeds = spec.get("n_seeds", 0)
+    quarantining = spec.get("on_failure") == "quarantine"
     outcomes: list[tuple[int, Any, Exception | None]] = []
     for pos, index, x, seed_pos, seed in chunk:
         # Same unit positions as the serial loop, so spot-audit
@@ -275,6 +316,10 @@ def _run_chunk(
             summaries = _suite_summaries(spec, x, seed, audit=audit)
         except Exception as exc:
             outcomes.append((pos, None, exc))
+            if quarantining:
+                # The parent will quarantine this unit and keep the
+                # sweep going, so the chunk keeps going too.
+                continue
             break
         outcomes.append((pos, summaries, None))
     meta = None
@@ -332,6 +377,25 @@ def map_forked(calls: "list[Any]", workers: int) -> list[Any]:
         _CALLS = None
 
 
+def _kill_pool_workers(pool: "WorkerPool") -> int:
+    """SIGKILL every live worker of *pool* — the watchdog's hammer.
+
+    Reaches into the executor's process table (there is no public kill
+    API); the dead workers surface as ``BrokenProcessPool`` on every
+    in-flight future, which routes recovery through the same
+    supervision path as a genuine worker crash.
+    """
+    processes = getattr(pool.executor, "_processes", None)
+    killed = 0
+    for process in list((processes or {}).values()):
+        try:
+            process.kill()
+            killed += 1
+        except Exception:  # pragma: no cover - racing an exiting worker
+            pass
+    return killed
+
+
 def run_cells(
     pending: list[tuple[int, float]],
     seeds: list[int],
@@ -342,6 +406,8 @@ def run_cells(
     cache: "SuiteCache | None" = None,
     unit_key: "Callable[[float, int], str] | None" = None,
     chunk_size: int | None = None,
+    quarantine_store: "QuarantineStore | None" = None,
+    shutdown: "GracefulShutdown | None" = None,
 ) -> "dict[int, SweepCell]":
     """Compute the *pending* (index, x) cells on the warm worker pool.
 
@@ -355,18 +421,63 @@ def run_cells(
     parent, only misses are chunked out to workers, and every computed
     summary is persisted the moment it lands.  A fully cached sweep
     never touches the pool at all.
+
+    The dispatch loop is **supervised**.  A worker death (OOM kill,
+    segfault, chaos crash) breaks the whole pool — every in-flight
+    future raises ``BrokenProcessPool`` and completed results of the
+    dying chunks are lost — so the parent rebuilds the pool and
+    re-dispatches only the unresolved units, escalating the dispatch
+    shape to attribute the crash:
+
+    1. **chunked** (normal) — re-dispatch lost units in fresh chunks;
+    2. **isolated** — one unit per chunk, still parallel: the next
+       break narrows the suspects to single units;
+    3. **solo** — one unit in flight at a time: a break now names the
+       poison unit definitively, and after ``max_retries`` solo
+       crashes it fails as :class:`~repro.errors.WorkerCrashError`
+       (quarantined under ``on_failure="quarantine"``).
+
+    When the spec carries a ``unit_timeout``, a parent-side watchdog
+    backs up the in-worker SIGALRM deadline: if *nothing* completes
+    within a stall budget sized to the largest in-flight chunk, the
+    workers are presumed wedged beyond the alarm's reach (hung in
+    non-Python code) and killed, which routes recovery through the
+    same escalation.  Units are pure functions of their seeds, so
+    re-dispatched work folds byte-identically.
+
+    *shutdown* (when draining) cancels chunks that have not started,
+    finishes the ones in flight, and leaves the rest for a resumed
+    run; the caller raises :class:`~repro.errors.SweepInterrupted`.
     """
     from repro.experiments.runner import SweepCell
 
     xs = dict(pending)
     suites: dict[int, dict[int, Any]] = {index: {} for index, _ in pending}
+    quarantined: dict[int, dict[int, dict]] = {
+        index: {} for index, _ in pending}
     cells: dict[int, SweepCell] = {}
+    on_failure = spec.get("on_failure", "raise")
+    max_retries = spec.get("max_retries", 0)
+    retry_backoff = spec.get("retry_backoff", 0.25)
+    unit_timeout = spec.get("unit_timeout")
+
+    def cell_complete(index: int) -> bool:
+        return (index in suites
+                and (len(suites[index]) + len(quarantined[index])
+                     == len(seeds)))
 
     def fold(index: int) -> None:
         per_cell = suites.pop(index)
+        quar = quarantined.pop(index)
         cell = SweepCell(x=float(xs[index]))
+        # Seed order interleaves successes and quarantine records
+        # exactly as the serial loop met them, so partial cells fold
+        # byte-identically too.
         for seed_pos in range(len(seeds)):
-            cell.record_summaries(per_cell[seed_pos])
+            if seed_pos in per_cell:
+                cell.record_summaries(per_cell[seed_pos])
+            else:
+                cell.quarantined.append(quar[seed_pos])
         if checkpointer is not None:
             checkpointer.store(index, cell)
         cells[index] = cell
@@ -389,78 +500,234 @@ def run_cells(
                 units.append((len(units), index, x, seed_pos, seed))
                 keys.append(key)
     for index, _x in pending:
-        if index in suites and len(suites[index]) == len(seeds):
+        if cell_complete(index):
             fold(index)
     if not units:
         return cells
 
-    pool = WorkerPool.acquire(workers, spec)
-    chunk_futures = {
-        pool.executor.submit(_run_chunk, units[start:stop]): (start, stop)
-        for start, stop in plan_chunks(len(units), workers, chunk_size)}
-    if _TELEMETRY.enabled:
-        _TELEMETRY.inc("parallel.chunks_submitted", len(chunk_futures))
-        _TELEMETRY.emit("parallel.dispatch", chunks=len(chunk_futures),
-                        units=len(units), workers=workers)
-    not_done = set(chunk_futures)
+    remaining: set[int] = set(range(len(units)))
+    crash_counts: dict[int, int] = {}
     best_err: tuple[int, BaseException] | None = None
-    while not_done:
-        done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-        for future in done:
-            start, _stop = chunk_futures[future]
-            try:
-                outcomes, meta = future.result()
-            except BaseException as exc:
-                # Infrastructure failure (worker killed, broken pool):
-                # attribute it to the chunk's first unit.
-                if best_err is None or start < best_err[0]:
-                    best_err = (start, exc)
+
+    def stall_budget(max_units: int) -> float | None:
+        """How long zero completions can mean 'working' not 'wedged'.
+
+        Worst case for one honest in-flight chunk: every unit burns
+        its full deadline on every attempt plus the full backoff
+        ladder — beyond that, nothing finishing means no alarm is
+        firing, i.e. a worker is hung outside SIGALRM's reach.
+        """
+        if not unit_timeout:
+            return None
+        backoff = sum(retry_backoff * 2.0 ** a for a in range(max_retries))
+        return (max_units * ((1 + max_retries) * unit_timeout + backoff)
+                + 5.0)
+
+    def resolve(pos: int, summaries: Any, err: BaseException | None) -> None:
+        """Settle one unit outcome: fold, quarantine, or note failure."""
+        nonlocal best_err
+        if pos not in remaining:
+            return  # stale duplicate from a superseded generation
+        _, index, x, seed_pos, seed = units[pos]
+        if err is not None:
+            if on_failure != "quarantine":
+                # Stays unresolved: the sweep dies on the lowest-
+                # ordered failure, exactly as the serial loop would.
+                if best_err is None or pos < best_err[0]:
+                    best_err = (pos, err)
+                return
+            remaining.discard(pos)
+            record = QuarantinedCell.from_failure(
+                err, index=index, x=float(x), seed=seed,
+                seed_pos=seed_pos,
+                attempts=1 + retry_budget(err, max_retries),
+                fingerprint=keys[pos])
+            if quarantine_store is not None:
+                quarantine_store.record(record)
+            _TELEMETRY.inc("resilience.quarantined")
+            quarantined[index][seed_pos] = record.to_payload()
+        else:
+            if best_err is not None and pos > best_err[0]:
+                # Beyond the failure point: a serial sweep would never
+                # have run this unit; drop the result.
+                return
+            remaining.discard(pos)
+            if cache is not None and keys[pos] is not None:
+                cache.put(keys[pos], summaries)
+            suites[index][seed_pos] = summaries
+        if cell_complete(index):
+            fold(index)
+
+    def merge_meta(meta: dict) -> None:
+        # Fold the worker's chunk delta into the parent registry the
+        # moment the chunk lands — the telemetry sibling of the
+        # in-seed-order cell folding.
+        _TELEMETRY.merge_snapshot(meta["telemetry"])
+        _TELEMETRY.record_worker(meta["pid"], chunks=1,
+                                 units=meta["units"],
+                                 busy_s=meta["wall_s"])
+        _TELEMETRY.inc("parallel.chunks_completed")
+        _TELEMETRY.inc("parallel.units_computed", meta["units"])
+        _TELEMETRY.observe("parallel.chunk_latency_s", meta["wall_s"])
+        # The chunk's wall-clock window, for the sweep timeline's
+        # worker lanes (repro.trace.timeline).
+        _TELEMETRY.emit("parallel.chunk", pid=meta["pid"],
+                        units=meta["units"], wall_s=meta["wall_s"],
+                        t0=meta.get("t0"), t1=meta.get("t1"))
+
+    def consume(pool: WorkerPool,
+                chunk_futures: "dict[Any, int]",
+                budget: float | None) -> bool:
+        """Drain one generation's futures; True if the pool broke."""
+        broke = False
+        not_done = set(chunk_futures)
+        while not_done:
+            done, not_done = wait(not_done, timeout=budget,
+                                  return_when=FIRST_COMPLETED)
+            if not done:
+                # Watchdog: nothing landed inside the stall budget
+                # even though every unit carries a deadline — a worker
+                # is wedged beyond SIGALRM's reach.  Kill the workers;
+                # the dead pool surfaces as BrokenProcessPool on the
+                # next wait and recovery escalates like any crash.
+                killed = _kill_pool_workers(pool)
+                _TELEMETRY.inc("resilience.watchdog_kills")
+                _TELEMETRY.emit("resilience.watchdog_kill",
+                                killed=killed, budget=budget)
                 continue
-            if meta is not None and _TELEMETRY.enabled:
-                # Fold the worker's chunk delta into the parent
-                # registry the moment the chunk lands — the telemetry
-                # sibling of the in-seed-order cell folding below.
-                _TELEMETRY.merge_snapshot(meta["telemetry"])
-                _TELEMETRY.record_worker(meta["pid"], chunks=1,
-                                         units=meta["units"],
-                                         busy_s=meta["wall_s"])
-                _TELEMETRY.inc("parallel.chunks_completed")
-                _TELEMETRY.inc("parallel.units_computed", meta["units"])
-                _TELEMETRY.observe("parallel.chunk_latency_s",
-                                   meta["wall_s"])
-                # The chunk's wall-clock window, for the sweep
-                # timeline's worker lanes (repro.trace.timeline).
-                _TELEMETRY.emit("parallel.chunk", pid=meta["pid"],
-                                units=meta["units"],
-                                wall_s=meta["wall_s"],
-                                t0=meta.get("t0"), t1=meta.get("t1"))
-            for pos, summaries, err in outcomes:
-                if err is not None:
-                    if best_err is None or pos < best_err[0]:
-                        best_err = (pos, err)
+            for future in done:
+                try:
+                    outcomes, meta = future.result()
+                except BaseException:
+                    # Worker death: the chunk's results are gone; its
+                    # units stay unresolved for the next generation.
+                    broke = True
+                    continue
+                if meta is not None and _TELEMETRY.enabled:
+                    merge_meta(meta)
+                for pos, summaries, err in outcomes:
+                    resolve(pos, summaries, err)
+            if shutdown is not None and shutdown.requested:
+                # Draining: drop whatever has not started (their units
+                # stay unresolved, for the resumed run) but finish
+                # what is in flight.
+                for future in list(not_done):
+                    if future.cancel():
+                        not_done.discard(future)
+            if best_err is not None:
+                # Chunks starting beyond the lowest known failure
+                # cannot lower it: cancel what has not started, keep
+                # draining the rest (a still-running earlier chunk may
+                # fail lower).
+                for future in list(not_done):
+                    if (chunk_futures[future] > best_err[0]
+                            and future.cancel()):
+                        not_done.discard(future)
+        return broke
+
+    mode = "chunked"
+    while remaining:
+        if shutdown is not None:
+            shutdown.raise_if_requested(
+                completed_cells=len(cells),
+                checkpoint_dir=(checkpointer.directory
+                                if checkpointer is not None else None))
+        todo = sorted(remaining)
+        if best_err is not None:
+            # Only units below the failure point can still matter (a
+            # lower-ordered unit may fail lower); everything else is
+            # moot — the sweep is going to raise.
+            todo = [pos for pos in todo if pos < best_err[0]]
+        if not todo:
+            break
+
+        pool = WorkerPool.acquire(workers, spec)
+        broke = False
+        if mode == "solo":
+            # One unit in flight at a time: a pool break now names the
+            # poison unit definitively, so crashes are counted against
+            # its (transient) retry budget and then given up on.
+            budget = stall_budget(1)
+            for pos in todo:
+                if pos not in remaining:
+                    continue
+                if shutdown is not None and shutdown.requested:
                     break
                 if best_err is not None and pos > best_err[0]:
-                    # Beyond the failure point: a serial sweep would
-                    # never have run this unit; drop the result.
-                    continue
-                _, index, _x, seed_pos, _seed = units[pos]
-                if cache is not None and keys[pos] is not None:
-                    cache.put(keys[pos], summaries)
-                suites[index][seed_pos] = summaries
-                if len(suites[index]) == len(seeds):
-                    fold(index)
-        if best_err is not None:
-            # Chunks starting beyond the lowest known failure cannot
-            # lower it: cancel what has not started, keep draining the
-            # rest (a still-running earlier chunk may fail lower).
-            for future in list(not_done):
-                start, _stop = chunk_futures[future]
-                if start > best_err[0] and future.cancel():
-                    not_done.discard(future)
+                    break
+                pool = WorkerPool.acquire(workers, spec)
+                try:
+                    future = pool.executor.submit(_run_chunk,
+                                                  [units[pos]])
+                    outcomes, meta = future.result(timeout=budget)
+                except _FuturesTimeout:
+                    killed = _kill_pool_workers(pool)
+                    _TELEMETRY.inc("resilience.watchdog_kills")
+                    _TELEMETRY.emit("resilience.watchdog_kill",
+                                    killed=killed, budget=budget)
+                    crashed = True
+                except BaseException:
+                    crashed = True
+                else:
+                    crashed = False
+                    if meta is not None and _TELEMETRY.enabled:
+                        merge_meta(meta)
+                    for outcome in outcomes:
+                        resolve(*outcome)
+                if crashed:
+                    pool.shutdown(cancel_futures=True)
+                    _TELEMETRY.inc("resilience.pool_rebuilds")
+                    crash_counts[pos] = crash_counts.get(pos, 0) + 1
+                    if crash_counts[pos] > max_retries:
+                        _, index, x, seed_pos, seed = units[pos]
+                        resolve(pos, None, WorkerCrashError(
+                            f"unit x={float(x):g} seed={seed} took its "
+                            f"worker down {crash_counts[pos]} time(s) "
+                            f"in solo dispatch",
+                            x=float(x), workload_seed=seed,
+                            crashes=crash_counts[pos]))
+                    # Under budget: the unit stays in `remaining` and
+                    # the outer loop re-dispatches it (chaos-injected
+                    # crashes are at-most-once, so the re-run is the
+                    # recovery).
+            continue
+
+        size = 1 if mode == "isolated" else chunk_size
+        chunk_futures: dict[Any, int] = {}
+        try:
+            for start, stop in plan_chunks(len(todo), workers, size):
+                positions = todo[start:stop]
+                chunk_futures[pool.executor.submit(
+                    _run_chunk,
+                    [units[p] for p in positions])] = positions[0]
+        except BrokenProcessPool:
+            broke = True  # pool died mid-submit; drain what went out
+        if _TELEMETRY.enabled:
+            _TELEMETRY.inc("parallel.chunks_submitted",
+                           len(chunk_futures))
+            _TELEMETRY.emit("parallel.dispatch",
+                            chunks=len(chunk_futures), units=len(todo),
+                            workers=workers, mode=mode)
+        max_units = max((len(todo[start:stop]) for start, stop in
+                         plan_chunks(len(todo), workers, size)),
+                        default=1)
+        broke = consume(pool, chunk_futures, stall_budget(max_units)) or broke
+        if broke:
+            # The broken executor is unusable; drop it (a fresh pool
+            # forks on the next acquire) and tighten the dispatch
+            # shape so repeated breaks converge on the culprit.
+            pool.shutdown(cancel_futures=True)
+            _TELEMETRY.inc("resilience.pool_rebuilds")
+            _TELEMETRY.emit("resilience.pool_rebuild", mode=mode,
+                            unresolved=len(remaining))
+            mode = "isolated" if mode == "chunked" else "solo"
+
     if best_err is not None:
         # Cancelling futures never stops already-running workers; the
         # pool itself is shut down (and the warm singleton dropped) so
         # no stale worker outlives the failed sweep.
-        pool.shutdown(cancel_futures=True)
+        pool = WorkerPool.current()
+        if pool is not None:
+            pool.shutdown(cancel_futures=True)
         raise best_err[1]
     return cells

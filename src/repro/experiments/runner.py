@@ -10,11 +10,24 @@ each completed cell to disk (atomically), retry transiently failing
 cells with exponential backoff, and resume a killed sweep from its
 checkpoints — producing results identical to an uninterrupted run,
 because every cell is a pure function of its seeds.
+
+On top of that sits the resilience layer (DESIGN.md §11,
+:mod:`repro.experiments.resilience`): per-unit wall-clock deadlines
+(``unit_timeout=``), transient-vs-deterministic retry classification
+(deterministic failures skip the backoff ladder entirely),
+poison-unit quarantine (``on_failure="quarantine"`` completes the
+sweep with structured :class:`~repro.experiments.resilience.
+QuarantinedCell` records instead of dying), graceful SIGINT/SIGTERM
+drain (checkpoints and manifests flushed, then
+:class:`~repro.errors.SweepInterrupted`), and degraded I/O — a full
+disk turns checkpointing/caching off with a warning, never crashes
+the sweep.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import time as _time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -24,11 +37,25 @@ import numpy as np
 
 from repro.cpu.processor import Processor
 from repro.cpu.profiles import ideal_processor
-from repro.errors import ExperimentError, SuiteExecutionError
+from repro.errors import (
+    ExperimentError,
+    SuiteExecutionError,
+    SweepInterrupted,
+    UnitTimeoutError,
+)
+from repro.experiments import chaos as _chaos
 from repro.experiments.cache import (
     PolicySummary,
     SuiteCache,
     suite_fingerprint,
+)
+from repro.experiments.resilience import (
+    EXECUTION_DEFAULTS,
+    GracefulShutdown,
+    QuarantinedCell,
+    QuarantineStore,
+    retry_budget,
+    unit_deadline,
 )
 from repro.experiments.config import EXPERIMENT_PERIOD_CHOICES
 from repro.faults import FaultPlan
@@ -218,6 +245,16 @@ class SweepCell:
     interventions: dict[str, int] = field(default_factory=dict)
     dispatches: dict[str, int] = field(default_factory=dict)
     released: dict[str, int] = field(default_factory=dict)
+    #: Structured records of (cell, seed) units given up on under
+    #: ``on_failure="quarantine"`` — the cell's aggregates then cover
+    #: only the surviving seeds, and the missing ones are *declared*
+    #: here instead of silently absent.  Empty on a clean run.
+    quarantined: list[dict] = field(default_factory=list)
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether any of this cell's seeds were quarantined."""
+        return bool(self.quarantined)
 
     def record(self, suite: SuiteResult) -> None:
         self.record_summaries(suite.policy_summaries())
@@ -248,7 +285,7 @@ class SweepCell:
     # -- checkpoint (de)serialisation ----------------------------------
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "x": self.x,
             "normalized": self.normalized,
             "misses": self.misses,
@@ -258,6 +295,11 @@ class SweepCell:
             "dispatches": self.dispatches,
             "released": self.released,
         }
+        if self.quarantined:
+            # Only present on partial cells, so clean-run payloads
+            # stay byte-identical across versions.
+            payload["quarantined"] = self.quarantined
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "SweepCell":
@@ -277,6 +319,8 @@ class SweepCell:
                         for k, v in payload.get("dispatches", {}).items()},
             released={k: int(v)
                       for k, v in payload.get("released", {}).items()},
+            quarantined=[dict(record)
+                         for record in payload.get("quarantined", [])],
         )
 
 
@@ -301,6 +345,10 @@ class SweepCheckpointer:
     checkpoint.  A fingerprint of the sweep parameters is embedded in
     every file; resuming against checkpoints from a *different* sweep
     fails loudly instead of silently mixing results.
+
+    A failing checkpoint write (ENOSPC, permissions) *degrades* the
+    checkpointer — one warning, further stores skipped — instead of
+    crashing a sweep that can still compute its results in memory.
     """
 
     def __init__(self, directory: str | Path, fingerprint: dict,
@@ -308,6 +356,7 @@ class SweepCheckpointer:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fingerprint = fingerprint
+        self.degraded = False
         if not resume:
             for stale in self.directory.glob("cell_*.json"):
                 stale.unlink()
@@ -335,14 +384,37 @@ class SweepCheckpointer:
         return SweepCell.from_payload(payload["cell"])
 
     def store(self, index: int, cell: SweepCell) -> None:
+        if self.degraded:
+            return
+        if cell.is_partial:
+            # A quarantined cell is incomplete by construction; never
+            # checkpoint it as done — a resume (after the operator
+            # clears the quarantine records) recomputes it.
+            return
         path = self._path(index)
         tmp = path.with_suffix(".json.tmp")
-        # No sort_keys: the per-policy dicts keep their run order, so a
-        # resumed sweep renders policies in exactly the same order as
-        # the uninterrupted run.
-        tmp.write_text(json.dumps(
-            {"fingerprint": self.fingerprint, "cell": cell.to_payload()}))
-        tmp.replace(path)
+        try:
+            _chaos.on_artifact_write("checkpoint", path)
+            # No sort_keys: the per-policy dicts keep their run order,
+            # so a resumed sweep renders policies in exactly the same
+            # order as the uninterrupted run.
+            tmp.write_text(json.dumps(
+                {"fingerprint": self.fingerprint,
+                 "cell": cell.to_payload()}))
+            tmp.replace(path)
+        except OSError as exc:
+            self.degraded = True
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            TELEMETRY.inc("resilience.checkpoint_degraded")
+            TELEMETRY.emit("resilience.checkpoint_degraded",
+                           path=str(path), error=str(exc))
+            print(f"warning: checkpointing degraded to off ({exc}); "
+                  f"the sweep continues but is no longer resumable",
+                  file=sys.stderr)
+            return
         TELEMETRY.inc("sweep.checkpoint_writes")
         TELEMETRY.emit("sweep.checkpoint", index=index, x=cell.x)
 
@@ -369,6 +441,8 @@ def sweep(
     cache_dir: str | Path | None = None,
     workload_id: str | None = None,
     audit_every: int | None = None,
+    unit_timeout: float | None = None,
+    on_failure: str | None = None,
 ) -> list[SweepCell]:
     """The generic experiment sweep.
 
@@ -417,6 +491,32 @@ def sweep(
     :class:`~repro.errors.SuiteExecutionError` naming the invariant.
     Cache hits replay without re-auditing (their suites never re-run),
     and audited summaries are byte-identical to unaudited ones.
+
+    *unit_timeout* puts a wall-clock deadline (seconds) on every
+    (cell, seed) unit: a hung unit is interrupted with
+    :class:`~repro.errors.UnitTimeoutError`, retried like any
+    transient failure, and — in the parallel path — a worker wedged
+    beyond the in-worker alarm is killed and replaced by the parent
+    watchdog.  *on_failure* selects what happens when a unit exhausts
+    its retries: ``"raise"`` (default) propagates the failure as
+    before; ``"quarantine"`` records a structured
+    :class:`~repro.experiments.resilience.QuarantinedCell` (persisted
+    under ``<checkpoint_dir>/quarantine/`` when checkpointing) and
+    **completes the sweep**, returning partial cells whose
+    ``quarantined`` payloads declare exactly which seeds are missing.
+    Both default to the process-wide
+    :data:`~repro.experiments.resilience.EXECUTION_DEFAULTS` set by
+    the CLI's ``--unit-timeout`` / ``--quarantine`` flags.
+
+    Deterministic failures (engine/policy errors: pure functions of
+    the seed) skip the retry ladder entirely — retries with backoff
+    are reserved for transient ones (I/O hiccups, OOM kills,
+    timeouts) that a retry genuinely can cure.
+
+    SIGINT/SIGTERM no longer kill a sweep mid-checkpoint: in-flight
+    units drain, completed cells are checkpointed, the run manifest
+    is flushed, and :class:`~repro.errors.SweepInterrupted` reports
+    the sweep resumable.
     """
     if not xs:
         raise ExperimentError("sweep needs at least one x value")
@@ -431,6 +531,17 @@ def sweep(
     if chunk_size is not None and chunk_size < 1:
         raise ExperimentError(
             f"chunk_size must be >= 1, got {chunk_size}")
+    if unit_timeout is None:
+        unit_timeout = EXECUTION_DEFAULTS.unit_timeout
+    if unit_timeout is not None and unit_timeout <= 0:
+        raise ExperimentError(
+            f"unit_timeout must be > 0, got {unit_timeout}")
+    if on_failure is None:
+        on_failure = EXECUTION_DEFAULTS.on_failure
+    if on_failure not in ("raise", "quarantine"):
+        raise ExperimentError(
+            f"on_failure must be 'raise' or 'quarantine', "
+            f"got {on_failure!r}")
     cache = None
     unit_key = None
     if cache_dir is not None:
@@ -439,7 +550,16 @@ def sweep(
                 "cache_dir needs a workload_id naming the workload "
                 "closure (and any parameterisation beyond the keyed "
                 "scalars); refusing to cache unidentifiable suites")
-        cache = SuiteCache(cache_dir)
+        try:
+            cache = SuiteCache(cache_dir)
+        except OSError as exc:
+            # Degraded I/O: an unusable cache directory turns the
+            # cache off for this run, never kills it.
+            TELEMETRY.inc("resilience.cache_degraded")
+            print(f"warning: cache dir {cache_dir} unusable ({exc}); "
+                  f"running without the suite cache", file=sys.stderr)
+
+    if cache is not None:
 
         def unit_key(x: float, seed: int) -> str:
             digest, _ = suite_fingerprint(
@@ -452,6 +572,7 @@ def sweep(
             return digest
 
     checkpointer = None
+    quarantine_store = None
     if checkpoint_dir is not None:
         fingerprint = {
             "xs": [float(x) for x in xs],
@@ -460,8 +581,61 @@ def sweep(
             "master_seed": master_seed,
             "horizon": float(horizon),
         }
-        checkpointer = SweepCheckpointer(checkpoint_dir, fingerprint,
-                                         resume=resume)
+        try:
+            checkpointer = SweepCheckpointer(checkpoint_dir, fingerprint,
+                                             resume=resume)
+        except OSError as exc:
+            TELEMETRY.inc("resilience.checkpoint_degraded")
+            print(f"warning: checkpoint dir {checkpoint_dir} unusable "
+                  f"({exc}); running without checkpoints",
+                  file=sys.stderr)
+        if on_failure == "quarantine":
+            quarantine_store = QuarantineStore(checkpoint_dir)
+
+    shutdown = GracefulShutdown()
+
+    def compute_unit(index: int, x: float, seed_pos: int,
+                     seed: int) -> dict[str, PolicySummary]:
+        """One (cell, seed) suite with classified in-place retries."""
+        audit = (audit_every is not None
+                 and (index * n_tasksets + seed_pos) % audit_every == 0)
+        attempt = 0
+        while True:
+            try:
+                with unit_deadline(unit_timeout, x=float(x), seed=seed):
+                    # Inside the deadline, so an injected hang is
+                    # interruptible exactly like a real one.
+                    _chaos.on_unit_start(float(x), seed)
+                    taskset, model = make_workload(float(x), seed)
+                    processor = (processor_factory(float(x))
+                                 if processor_factory
+                                 else ideal_processor())
+                    suite = run_suite(
+                        taskset, policy_names, processor, model,
+                        horizon=horizon,
+                        overhead_aware=overhead_aware,
+                        allow_misses=allow_misses,
+                        policy_factory=(policy_factory(float(x))
+                                        if policy_factory else None),
+                        faults=(faults_factory(float(x), seed)
+                                if faults_factory else None),
+                        workload_seed=seed,
+                        audit=audit)
+                return suite.policy_summaries()
+            except Exception as exc:
+                if isinstance(exc, UnitTimeoutError):
+                    TELEMETRY.inc("resilience.unit_timeouts")
+                # Deterministic failures reproduce identically on
+                # every attempt — their retry budget is zero, so they
+                # fail (or quarantine) fast instead of burning the
+                # backoff ladder.
+                if attempt >= retry_budget(exc, max_retries):
+                    raise
+                TELEMETRY.inc("sweep.retries")
+                TELEMETRY.emit("sweep.retry", index=index, x=float(x),
+                               seed=seed, attempt=attempt)
+                _time.sleep(retry_backoff * (2.0 ** attempt))
+                attempt += 1
 
     def compute_cell(index: int, x: float) -> SweepCell:
         cell = SweepCell(x=float(x))
@@ -470,23 +644,22 @@ def sweep(
             key = unit_key(float(x), seed) if cache is not None else None
             summaries = cache.get(key) if cache is not None else None
             if summaries is None:
-                taskset, model = make_workload(float(x), seed)
-                processor = (processor_factory(float(x))
-                             if processor_factory else ideal_processor())
-                suite = run_suite(
-                    taskset, policy_names, processor, model,
-                    horizon=horizon,
-                    overhead_aware=overhead_aware,
-                    allow_misses=allow_misses,
-                    policy_factory=(policy_factory(float(x))
-                                    if policy_factory else None),
-                    faults=(faults_factory(float(x), seed)
-                            if faults_factory else None),
-                    workload_seed=seed,
-                    audit=(audit_every is not None
-                           and (index * n_tasksets + seed_pos)
-                           % audit_every == 0))
-                summaries = suite.policy_summaries()
+                try:
+                    summaries = compute_unit(index, float(x),
+                                             seed_pos, seed)
+                except Exception as exc:
+                    if on_failure != "quarantine":
+                        raise
+                    record = QuarantinedCell.from_failure(
+                        exc, index=index, x=float(x), seed=seed,
+                        seed_pos=seed_pos,
+                        attempts=1 + retry_budget(exc, max_retries),
+                        fingerprint=key)
+                    if quarantine_store is not None:
+                        quarantine_store.record(record)
+                    TELEMETRY.inc("resilience.quarantined")
+                    cell.quarantined.append(record.to_payload())
+                    continue
                 if cache is not None:
                     cache.put(key, summaries)
             cell.record_summaries(summaries)
@@ -526,45 +699,41 @@ def sweep(
                             "retry_backoff": retry_backoff,
                             "audit_every": audit_every,
                             "n_seeds": n_tasksets,
+                            "unit_timeout": unit_timeout,
+                            "on_failure": on_failure,
+                            # Workers snapshot the installed chaos
+                            # plan at fork time; a plan change must
+                            # invalidate the warm pool like any other
+                            # spec change.
+                            "chaos": _chaos.current(),
                         },
                         workers=workers, checkpointer=checkpointer,
                         cache=cache, unit_key=unit_key,
-                        chunk_size=chunk_size))
+                        chunk_size=chunk_size,
+                        quarantine_store=quarantine_store,
+                        shutdown=shutdown))
                 return [by_index[index] for index in range(len(xs))]
 
         cells = []
         for index, x in enumerate(xs):
+            shutdown.raise_if_requested(
+                completed_cells=len(cells),
+                checkpoint_dir=checkpoint_dir)
             if checkpointer is not None:
                 cached = checkpointer.load(index, float(x))
                 if cached is not None:
                     TELEMETRY.inc("sweep.cells_resumed")
                     cells.append(cached)
                     continue
-            attempt = 0
-            while True:
-                try:
-                    cell = compute_cell(index, float(x))
-                    break
-                except Exception:
-                    # Deterministic failures fail identically on retry
-                    # and then propagate; the retries exist for
-                    # transient ones (I/O hiccups in workload loading,
-                    # OOM kills of child work) that a backoff genuinely
-                    # cures.
-                    if attempt >= max_retries:
-                        raise
-                    TELEMETRY.inc("sweep.retries")
-                    TELEMETRY.emit("sweep.retry", index=index,
-                                   x=float(x), attempt=attempt)
-                    _time.sleep(retry_backoff * (2.0 ** attempt))
-                    attempt += 1
+            cell = compute_cell(index, float(x))
             if checkpointer is not None:
                 checkpointer.store(index, cell)
             cells.append(cell)
         return cells
 
     if not TELEMETRY.enabled:
-        return execute()
+        with shutdown:
+            return execute()
 
     # Telemetry is on: cut this sweep's metrics as a delta against the
     # registry (other sweeps in the same process keep their counts),
@@ -576,26 +745,39 @@ def sweep(
     TELEMETRY.emit("sweep.start",
                    workload_id=workload_id, cells=len(xs),
                    seeds=n_tasksets, workers=workers)
-    with TELEMETRY.span("sweep.compute"):
-        cells = execute()
-    _write_sweep_manifest(
-        before=before,
-        fingerprint={
-            "xs": [float(x) for x in xs],
-            "policies": list(policy_names),
-            "n_tasksets": n_tasksets,
-            "master_seed": master_seed,
-            "horizon": float(horizon),
-            "workload_id": workload_id,
-            "workers": workers,
-            "overhead_aware": overhead_aware,
-            "allow_misses": allow_misses,
-        },
-        workers=workers,
-        faults_injected=faults_factory is not None,
-        audit_every=audit_every,
-        checkpoint_dir=checkpoint_dir,
-        workload_id=workload_id)
+
+    def write_manifest() -> None:
+        _write_sweep_manifest(
+            before=before,
+            fingerprint={
+                "xs": [float(x) for x in xs],
+                "policies": list(policy_names),
+                "n_tasksets": n_tasksets,
+                "master_seed": master_seed,
+                "horizon": float(horizon),
+                "workload_id": workload_id,
+                "workers": workers,
+                "overhead_aware": overhead_aware,
+                "allow_misses": allow_misses,
+            },
+            workers=workers,
+            faults_injected=faults_factory is not None,
+            audit_every=audit_every,
+            checkpoint_dir=checkpoint_dir,
+            workload_id=workload_id,
+            unit_timeout=unit_timeout,
+            on_failure=on_failure)
+
+    try:
+        with shutdown, TELEMETRY.span("sweep.compute"):
+            cells = execute()
+    except SweepInterrupted:
+        # The drain already checkpointed everything complete; flush
+        # the manifest too, so the interrupted run leaves a full
+        # telemetry record before the interrupt propagates.
+        write_manifest()
+        raise
+    write_manifest()
     return cells
 
 
@@ -608,6 +790,8 @@ def _write_sweep_manifest(
     audit_every: int | None,
     checkpoint_dir: str | Path | None,
     workload_id: str | None,
+    unit_timeout: float | None = None,
+    on_failure: str = "raise",
 ) -> Path | None:
     """Write one run manifest for a completed sweep (telemetry on).
 
@@ -640,6 +824,21 @@ def _write_sweep_manifest(
         workers={"pool_workers": workers,
                  "per_worker": delta["workers"]},
         faults={"injected": faults_injected},
+        resilience={
+            "unit_timeout": unit_timeout,
+            "on_failure": on_failure,
+            "pool_rebuilds": counters.get("resilience.pool_rebuilds", 0),
+            "watchdog_kills": counters.get(
+                "resilience.watchdog_kills", 0),
+            "unit_timeouts": counters.get("resilience.unit_timeouts", 0),
+            "quarantined": counters.get("resilience.quarantined", 0),
+            "cache_self_healed": counters.get("cache.self_healed", 0),
+            "degraded_writes": (
+                counters.get("resilience.cache_degraded", 0)
+                + counters.get("resilience.checkpoint_degraded", 0)),
+            "drain_requests": counters.get(
+                "resilience.drain_requests", 0),
+        },
         audit=(None if audit_every is None else {
             "every": audit_every,
             "units": counters.get("audit.units", 0),

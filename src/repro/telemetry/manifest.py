@@ -32,7 +32,11 @@ from repro.errors import ExperimentError
 
 #: Bumped when the manifest layout changes; loaders refuse newer files.
 #: 2: added the ``audit`` block (spot-audit coverage and violations).
-MANIFEST_SCHEMA = 2
+#: 3: added the ``resilience`` block (configured timeout/failure
+#:    policy, pool rebuilds, watchdog kills, unit timeouts,
+#:    quarantined units, self-healed cache shards, degraded writes,
+#:    drain requests).
+MANIFEST_SCHEMA = 3
 
 
 def git_revision(repo_dir: str | Path | None = None) -> str:
@@ -59,6 +63,7 @@ class RunManifest:
     workers: dict = field(default_factory=dict)
     faults: dict | None = None
     audit: dict | None = None
+    resilience: dict | None = None
     code_epoch: str = ""
     git_rev: str = ""
     created: str = ""
@@ -113,6 +118,7 @@ class RunManifest:
             "workers": self.workers,
             "faults": self.faults,
             "audit": self.audit,
+            "resilience": self.resilience,
         }
 
     def write(self, path: str | Path) -> Path:
@@ -146,6 +152,7 @@ class RunManifest:
             workers=dict(payload.get("workers", {})),
             faults=payload.get("faults"),
             audit=payload.get("audit"),
+            resilience=payload.get("resilience"),
             code_epoch=str(payload.get("code_epoch", "")),
             git_rev=str(payload.get("git_rev", "")),
             created=str(payload.get("created", "")),
@@ -243,6 +250,12 @@ def render_manifest(manifest: RunManifest) -> str:
         rendered = ", ".join(f"{k}={_fmt(v)}"
                              for k, v in sorted(manifest.audit.items()))
         lines.append(f"  audit: {rendered}")
+    if manifest.resilience:
+        lines.append("  resilience:")
+        for key in sorted(manifest.resilience):
+            value = manifest.resilience[key]
+            lines.append(f"    {key:<18} "
+                         f"{_fmt(value) if value is not None else '-'}")
     if manifest.counters:
         lines.append("  counters:")
         for name in sorted(manifest.counters):

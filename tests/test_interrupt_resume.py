@@ -1,0 +1,106 @@
+"""SIGTERM a mid-flight parallel sweep, then resume byte-identically.
+
+This is the end-to-end drain contract (DESIGN.md §11) proven across a
+real process boundary: a child process runs a parallel checkpointed
+sweep, the parent SIGTERMs it once the first checkpoint lands, the
+child converts the signal into :class:`SweepInterrupted` (exit 42
+here), and a follow-up ``resume=True`` run completes the grid with
+results byte-identical to a never-interrupted reference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.runner import bcwc_model, standard_taskset, sweep
+
+pytestmark = pytest.mark.chaos
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+HORIZON = 400.0
+POLICIES = ("static", "lpSTA")
+XS = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+
+needs_fork = pytest.mark.skipif(
+    not parallel.fork_available(),
+    reason="parallel executor needs fork()")
+
+CHILD_SCRIPT = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.errors import SweepInterrupted
+from repro.experiments.runner import bcwc_model, standard_taskset, sweep
+
+def slow_workload(u, seed):
+    time.sleep(0.2)
+    return standard_taskset(4, u, seed), bcwc_model(0.5, seed)
+
+try:
+    sweep({xs!r}, slow_workload, {policies!r}, n_tasksets=2,
+          horizon={horizon!r}, workers=2, chunk_size=1,
+          checkpoint_dir={ckpt!r})
+except SweepInterrupted as exc:
+    print(f"drained signal={{exc.signal_number}} "
+          f"cells={{exc.completed_cells}}", flush=True)
+    sys.exit(42)
+sys.exit(0)
+"""
+
+
+def workload(u: float, seed: int):
+    return standard_taskset(4, u, seed), bcwc_model(0.5, seed)
+
+
+def payloads(cells) -> list[str]:
+    return [json.dumps(cell.to_payload()) for cell in cells]
+
+
+@needs_fork
+def test_sigterm_mid_parallel_sweep_then_resume(tmp_path):
+    ckpt = tmp_path / "ckpt"
+    script = CHILD_SCRIPT.format(src=SRC, xs=XS, policies=POLICIES,
+                                 horizon=HORIZON, ckpt=str(ckpt))
+    child = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        # Wait for proof of progress — the first checkpointed cell —
+        # then interrupt while most of the grid is still in flight.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if child.poll() is not None or list(ckpt.glob("cell_*.json")):
+                break
+            time.sleep(0.05)
+        assert child.poll() is None, (
+            f"child exited early: {child.communicate()}")
+        assert list(ckpt.glob("cell_*.json")), "no checkpoint within 60s"
+        child.send_signal(signal.SIGTERM)
+        out, err = child.communicate(timeout=60.0)
+    except BaseException:
+        child.kill()
+        child.wait()
+        raise
+    assert child.returncode == 42, (child.returncode, out, err)
+    assert "drained signal=15" in out
+
+    done = sorted(ckpt.glob("cell_*.json"))
+    assert 1 <= len(done) < len(XS)
+
+    # The resumed run loads the drained cells verbatim and computes
+    # only the remainder; the merged grid must match a clean serial
+    # run byte for byte.
+    reference = sweep(XS, workload, POLICIES, n_tasksets=2,
+                      horizon=HORIZON)
+    resumed = sweep(XS, workload, POLICIES, n_tasksets=2,
+                    horizon=HORIZON, checkpoint_dir=ckpt, resume=True)
+    assert payloads(resumed) == payloads(reference)
+    assert len(sorted(ckpt.glob("cell_*.json"))) == len(XS)
