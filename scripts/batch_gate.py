@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""CI gate: the batch engine is byte-identical to the scalar engine.
+
+Runs one EXP-F1 mini-cell (several utilizations x seeds, the four
+batch-eligible policies plus one scalar-only policy) through
+``sweep()`` twice — ``batch="on"`` and ``batch="off"`` — serially and
+on the parallel executor, and fails unless every cell fingerprint
+matches bit for bit.  The forced-on runs are instrumented to prove the
+vector engine actually executed (a gate that silently falls back to
+scalar twice would compare the scalar engine against itself and pass
+vacuously).
+
+Exits non-zero on the first broken contract, printing what diverged,
+so a batch-kernel regression fails fast CI even when the differential
+unit tests happen not to cover the diverging expression.
+
+Usage: PYTHONPATH=src python scripts/batch_gate.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+
+from repro.experiments import runner as runner_mod
+from repro.experiments.parallel import fork_available, shutdown_pool
+from repro.experiments.runner import bcwc_model, standard_taskset, sweep
+from repro.sim.batch import batch_available, run_batch_suites
+
+XS = (0.3, 0.7, 0.9)
+N_TASKSETS = 4
+HORIZON = 600.0
+POLICIES = ("none", "static", "ccEDF", "lpSTA", "lpSEH")
+
+
+def workload(u: float, seed: int):
+    return standard_taskset(8, u, seed), bcwc_model(0.5, seed)
+
+
+def fingerprint(cells) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    for cell in cells:
+        digest.update(json.dumps(cell.to_payload()).encode())
+    return digest.hexdigest()
+
+
+class BatchProbe:
+    """Counts batch invocations and the seeds the engine reproduced."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.batched = 0
+        self.fallbacks = 0
+
+    def __enter__(self) -> "BatchProbe":
+        def probe(*args, **kwargs):
+            self.calls += 1
+            rows = run_batch_suites(*args, **kwargs)
+            if rows is not None:
+                self.batched += sum(r is not None for r in rows)
+                self.fallbacks += sum(r is None for r in rows)
+            return rows
+
+        runner_mod.run_batch_suites = probe
+        return self
+
+    def __exit__(self, *exc) -> None:
+        runner_mod.run_batch_suites = run_batch_suites
+
+
+def main() -> int:
+    if not batch_available():
+        print("batch gate: numpy unavailable; scalar fallback is the "
+              "contract — skipping")
+        return 0
+
+    scalar = fingerprint(sweep(XS, workload, POLICIES,
+                               n_tasksets=N_TASKSETS, horizon=HORIZON,
+                               batch="off"))
+    with BatchProbe() as probe:
+        batched = fingerprint(sweep(XS, workload, POLICIES,
+                                    n_tasksets=N_TASKSETS,
+                                    horizon=HORIZON, batch="on"))
+    parallel_fp = None
+    if fork_available():
+        try:
+            parallel_fp = fingerprint(sweep(
+                XS, workload, POLICIES, n_tasksets=N_TASKSETS,
+                horizon=HORIZON, batch="on", workers=2))
+        finally:
+            shutdown_pool()
+
+    failures = []
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        print(f"{'ok  ' if ok else 'FAIL'} {label}"
+              + (f": {detail}" if detail and not ok else ""))
+        if not ok:
+            failures.append(label)
+
+    check("batch engine engaged", probe.calls == len(XS),
+          f"{probe.calls} batch call(s) for {len(XS)} cells")
+    check("most seeds vectorized",
+          probe.batched >= 0.75 * len(XS) * N_TASKSETS,
+          f"only {probe.batched}/{len(XS) * N_TASKSETS} seeds batched "
+          f"({probe.fallbacks} scalar fallbacks)")
+    check("batch byte-identical to scalar", batched == scalar,
+          f"{batched} != {scalar}")
+    if parallel_fp is not None:
+        check("parallel batch byte-identical", parallel_fp == scalar,
+              f"{parallel_fp} != {scalar}")
+
+    if failures:
+        print(f"batch gate: {len(failures)} contract(s) broken")
+        return 1
+    print(f"batch gate: {probe.batched} seed(s) vectorized, "
+          f"{probe.fallbacks} scalar fallback(s), fingerprints equal")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,16 +15,24 @@ driver uses it — repeated ``sweep()`` calls against the warm worker
 pool and the persistent suite cache:
 
 * ``serial_s`` — one cold serial sweep, no cache (the reference).
-* ``workers_cold_s`` — first ``workers=N`` call: chunked dispatch on a
-  freshly forked pool, cache cold (every suite simulated).
+* ``workers_cold_s`` — best cold ``workers=N`` call: chunked dispatch
+  on a freshly forked pool, cache cold (every suite simulated).
 * ``workers_s`` / ``parallel_speedup`` — best of the repeated calls,
   i.e. warm pool + warm cache: the steady-state cost of re-running the
   sweep.  This is the headline number; ``parallel_speedup_cold``
-  isolates pure dispatch overhead (≈1.0 is the ceiling on a
-  single-core host — the cold path proves chunking killed the 0.95x
-  regression, the warm path proves re-runs are near-free).
+  isolates pure dispatch overhead against a serial sweep doing the
+  same work — serial-first inline dispatch makes parity the floor,
+  and ≈1.0 is also the ceiling on a single-core host, where the
+  executor degrades to pure inline execution (the warm path proves
+  re-runs are near-free).
 * ``cache_cold_s`` / ``cache_warm_s`` / ``cache_speedup`` — the same
   warm-vs-cold contrast on the serial path, isolating the cache.
+
+The ``batch_exp1`` block times the vectorized multi-seed batch engine
+(:mod:`repro.sim.batch`, DESIGN.md §12) against the scalar engine on
+one batch-eligible EXP-F1 cell at realistic seed counts — the
+scalar-vs-batch speedup the acceptance criteria track — counting any
+seeds the batch engine handed back for scalar fallback.
 
 ``--check`` re-runs the microbenchmarks and exits non-zero when the
 ``engine_step`` mean degrades by more than ``--max-regression``
@@ -32,10 +40,21 @@ pool and the persistent suite cache:
 ``sweep_exp1_mini`` numbers, the mini sweep is re-timed and the check
 fails whenever ``parallel_speedup`` lands below ``--min-speedup``
 (default 1.0) — parallel-slower-than-serial is a regression, never
-something to record silently.  ``--check`` also replays the
-``telemetry`` probe — one instrumented mini sweep that must produce a
-run manifest whose cache section matches the live counters.
-``scripts/ci_fast.sh`` runs all three guards on every fast loop.
+something to record silently — or, when the record carries a cold
+number too, whenever ``parallel_speedup_cold`` lands below
+``--min-cold-speedup`` (default 0.85): a cold pool must never lose to
+the serial loop.  Parity is the theoretical ratio once dispatch goes
+inline-first (and the exact ceiling on a single-CPU host, where the
+paired estimator measures 0.93–1.04 across runs), so the default
+leaves a noise allowance while still failing decisively on the
+regression this guards against — reforking the pool per sweep, which
+measured 0.76x.  ``--check`` also runs the batch
+engine's differential guard — every ``PolicySummary`` of one
+batch-eligible cell computed by both engines must be bitwise equal —
+and replays the ``telemetry`` probe — one instrumented mini sweep that
+must produce a run manifest whose cache section matches the live
+counters.  ``scripts/ci_fast.sh`` runs all of these guards on every
+fast loop.
 
 The ``telemetry`` block embeds the instrumented sweep's headline
 counters (engine/cache/sweep namespaces) in the record, so the bench
@@ -63,6 +82,17 @@ SWEEP_UTILIZATIONS = (0.3, 0.5, 0.7, 0.9)
 SWEEP_TASKSETS = 3
 SWEEP_HORIZON = 1200.0
 SWEEP_WORKERS = 4
+
+#: Scalar-vs-batch engine timing (the ``batch_exp1`` block): one
+#: batch-eligible EXP-F1 cell at a realistic seed count.  The cheap
+#: kernels (no vector slack analysis) carry the headline speedup; the
+#: full four-kernel suite is recorded alongside at a smaller seed
+#: count so the lpSTA vector kernel's (smaller) win is tracked too.
+BATCH_X = 0.7
+BATCH_CHEAP_POLICIES = ("none", "static", "ccEDF")
+BATCH_CHEAP_SEEDS = 256
+BATCH_FULL_POLICIES = ("none", "static", "ccEDF", "lpSTA")
+BATCH_FULL_SEEDS = 64
 
 
 def _git_rev() -> str:
@@ -137,33 +167,194 @@ def _sweep_once(workers: int | None,
 
 def run_sweep_timings(*, repeats: int = 2) -> dict[str, float]:
     """Wall-clock the mini EXP-F1 sweep: serial cold, parallel
-    cold/warm (shared pool + cache across repeats), cache cold/warm."""
-    serial = min(_sweep_once(None) for _ in range(repeats))
-    record = {"serial_s": serial}
-    with tempfile.TemporaryDirectory() as tmp:
-        times = [_sweep_once(SWEEP_WORKERS, cache_dir=tmp)
-                 for _ in range(max(2, repeats))]
-    best = min(times)
-    if best == best:  # NaN when the executor is unavailable
-        record["workers"] = SWEEP_WORKERS
-        record["workers_cold_s"] = times[0]
-        record["workers_s"] = best
-        record["parallel_speedup"] = serial / best
-        record["parallel_speedup_cold"] = serial / times[0]
-    with tempfile.TemporaryDirectory() as tmp:
-        cold = _sweep_once(None, cache_dir=tmp)
-        warm = _sweep_once(None, cache_dir=tmp)
-    if cold == cold:
-        record["cache_cold_s"] = cold
-        record["cache_warm_s"] = warm
-        record["cache_speedup"] = cold / warm
+    cold/warm (cold = fresh pool + fresh cache), cache cold/warm.
+
+    ``parallel_speedup_cold`` compares a cold-pool parallel call
+    against a serial sweep doing the *same work* — both start with a
+    cold suite cache and persist every unit — so the metric isolates
+    dispatch overhead (fork, warmup, IPC) instead of charging the
+    parallel side for cache writes an uncached serial reference never
+    performs.  The cold pair is sampled as interleaved serial/parallel
+    pairs and the speedup is the ratio of the summed times: slow host
+    load drift hits both sides of each pair equally and cancels,
+    where single samples (or min-vs-min across a drifting window)
+    would just measure the noise.  On a single-CPU host dispatch
+    degrades to inline execution, so parity is the expected ratio.
+    """
     try:
         from repro.experiments.parallel import shutdown_pool
     except ImportError:
-        pass
-    else:
-        shutdown_pool()
+        def shutdown_pool() -> None:
+            pass
+
+    serial = min(_sweep_once(None) for _ in range(repeats))
+    record = {"serial_s": serial}
+    cold_serial: list[float] = []
+    warm_serial: list[float] = []
+    cold_workers: list[float] = []
+    warm_workers: list[float] = []
+    for pair in range(max(4, repeats)):
+        # Alternate which side of the pair runs first, so cache/thermal
+        # carry-over from one sample into the next cancels too.
+        sides = ("serial", "workers") if pair % 2 == 0 else (
+            "workers", "serial")
+        for side in sides:
+            if side == "serial":
+                with tempfile.TemporaryDirectory() as tmp:
+                    cold_serial.append(_sweep_once(None, cache_dir=tmp))
+                    warm_serial.append(_sweep_once(None, cache_dir=tmp))
+            else:
+                shutdown_pool()  # parallel samples start with a cold pool
+                with tempfile.TemporaryDirectory() as tmp:
+                    cold_workers.append(
+                        _sweep_once(SWEEP_WORKERS, cache_dir=tmp))
+                    warm_workers.append(
+                        _sweep_once(SWEEP_WORKERS, cache_dir=tmp))
+    cold = min(cold_serial)
+    if cold == cold:  # NaN when the cache is unavailable
+        record["cache_cold_s"] = cold
+        record["cache_warm_s"] = min(warm_serial)
+        record["cache_speedup"] = cold / min(warm_serial)
+    best = min(warm_workers)
+    if best == best:  # NaN when the executor is unavailable
+        record["workers"] = SWEEP_WORKERS
+        record["workers_cold_s"] = min(cold_workers)
+        record["workers_s"] = best
+        record["parallel_speedup"] = serial / best
+        if cold == cold:
+            record["parallel_speedup_cold"] = (sum(cold_serial)
+                                               / sum(cold_workers))
+    shutdown_pool()
     return record
+
+
+def _batch_workload_pairs(n_seeds: int):
+    """Pre-built, memo-warmed (taskset, model) pairs for fair timing.
+
+    Both engines would otherwise race to populate the execution
+    model's per-job work memo; warming it up front makes the scalar
+    and batch phases time pure engine work in either run order.
+    """
+    from repro.experiments.runner import bcwc_model, standard_taskset
+
+    pairs = {}
+    for seed in range(n_seeds):
+        taskset, model = (standard_taskset(8, BATCH_X, seed),
+                          bcwc_model(0.5, seed))
+        for task in taskset:
+            index = 0
+            release = task.phase
+            while release < SWEEP_HORIZON:
+                model.work(task, index)
+                index += 1
+                release += task.period
+        pairs[seed] = (taskset, model)
+    return pairs
+
+
+def run_batch_timings() -> dict | None:
+    """Scalar-vs-batch wall clock on one batch-eligible EXP-F1 cell.
+
+    Times the engine phase only (workloads pre-generated, memos warm):
+    the batch engine steps all seeds in lockstep, the scalar reference
+    simulates the same (seed, policy) runs one at a time.  Rows the
+    batch engine hands back for scalar fallback are counted — a
+    speedup earned by falling back would be meaningless.
+    """
+    try:
+        from repro.sim.batch import batch_available, run_batch_suites
+    except ImportError:
+        return None  # batch engine not available in this revision
+    if not batch_available():
+        return None
+    from repro.cpu.profiles import ideal_processor
+    from repro.policies.registry import make_policy
+    from repro.sim.engine import simulate
+
+    def measure(policies: tuple[str, ...], n_seeds: int) -> dict:
+        pairs = _batch_workload_pairs(n_seeds)
+        seeds = list(range(n_seeds))
+        started = time.perf_counter()
+        rows = run_batch_suites(
+            BATCH_X, seeds, make_workload=lambda x, seed: pairs[seed],
+            policy_names=policies, processor=ideal_processor(),
+            horizon=SWEEP_HORIZON)
+        batch_s = time.perf_counter() - started
+        fallbacks = (n_seeds if rows is None
+                     else sum(row is None for row in rows))
+        started = time.perf_counter()
+        for seed in seeds:
+            taskset, model = pairs[seed]
+            processor = ideal_processor()
+            for name in policies:
+                simulate(taskset, processor, make_policy(name), model,
+                         horizon=SWEEP_HORIZON)
+        scalar_s = time.perf_counter() - started
+        return {"seeds": n_seeds, "policies": list(policies),
+                "scalar_s": scalar_s, "batch_s": batch_s,
+                "speedup": scalar_s / batch_s, "fallbacks": fallbacks}
+
+    return {
+        "x": BATCH_X,
+        "horizon": SWEEP_HORIZON,
+        "cheap": measure(BATCH_CHEAP_POLICIES, BATCH_CHEAP_SEEDS),
+        "full": measure(BATCH_FULL_POLICIES, BATCH_FULL_SEEDS),
+    }
+
+
+def run_batch_differential(n_seeds: int = 8) -> dict | None:
+    """The ``--check`` differential: batch summaries == scalar, bitwise.
+
+    One batch-eligible EXP-F1 cell, every seed's ``PolicySummary``
+    dict computed by both engines and compared for exact equality
+    (PolicySummary is a float/int tuple, so ``==`` is bitwise here).
+    """
+    try:
+        from repro.sim.batch import batch_available, run_batch_suites
+    except ImportError:
+        return None
+    if not batch_available():
+        return {"skipped": "numpy unavailable; scalar fallback is the "
+                           "contract"}
+    from repro.cpu.profiles import ideal_processor
+    from repro.experiments.cache import PolicySummary
+    from repro.policies.registry import make_policy
+    from repro.sim.engine import simulate
+
+    pairs = _batch_workload_pairs(n_seeds)
+    seeds = list(range(n_seeds))
+    rows = run_batch_suites(
+        BATCH_X, seeds, make_workload=lambda x, seed: pairs[seed],
+        policy_names=BATCH_FULL_POLICIES, processor=ideal_processor(),
+        horizon=SWEEP_HORIZON)
+    result = {"units": n_seeds, "fallbacks": 0, "mismatches": 0}
+    if rows is None:
+        result["fallbacks"] = n_seeds
+        return result
+    for seed, row in zip(seeds, rows):
+        if row is None:
+            result["fallbacks"] += 1
+            continue
+        taskset, model = pairs[seed]
+        processor = ideal_processor()
+        baseline = None
+        for name in BATCH_FULL_POLICIES:
+            scalar = simulate(taskset, processor, make_policy(name),
+                              model, horizon=SWEEP_HORIZON)
+            if baseline is None:
+                baseline = scalar
+            metrics = scalar.policy_metrics
+            reference = PolicySummary(
+                normalized=scalar.normalized_energy(baseline),
+                misses=len(scalar.deadline_misses),
+                switches=scalar.switch_count,
+                overruns=scalar.overrun_jobs,
+                released=scalar.jobs_released,
+                interventions=int(metrics.get("interventions", 0)),
+                dispatches=int(metrics.get("dispatches", 0)))
+            if row[name] != reference:
+                result["mismatches"] += 1
+    return result
 
 
 def run_telemetry_probe() -> dict | None:
@@ -217,6 +408,9 @@ def build_record(*, skip_sweep: bool = False) -> dict:
     }
     if not skip_sweep:
         record["sweep_exp1_mini"] = run_sweep_timings()
+        batch = run_batch_timings()
+        if batch is not None:
+            record["batch_exp1"] = batch
         record["telemetry"] = run_telemetry_probe()
     return record
 
@@ -283,6 +477,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="minimum mini-sweep parallel_speedup for "
                              "--check, when the baseline record has "
                              "sweep numbers (default 1.0)")
+    parser.add_argument("--min-cold-speedup", type=float, default=0.85,
+                        help="minimum mini-sweep parallel_speedup_cold "
+                             "for --check: a cold pool must never lose "
+                             "to the serial loop; parity is the "
+                             "theoretical ceiling on single-CPU hosts, "
+                             "so the default allows measurement noise "
+                             "while still catching the refork-per-sweep "
+                             "regression (0.76x) outright (default 0.85)")
     parser.add_argument("--skip-sweep", action="store_true",
                         help="record only the microbenchmarks")
     args = parser.parse_args(argv)
@@ -313,6 +515,35 @@ def main(argv: list[str] | None = None) -> int:
             if speedup is not None:
                 print(f"OK: sweep_exp1_mini.parallel_speedup = "
                       f"{speedup:.2f}x (>= {args.min_speedup:.2f}x)")
+            cold = record["sweep_exp1_mini"].get("parallel_speedup_cold")
+            if (cold is not None
+                    and (baseline.get("sweep_exp1_mini") or {}).get(
+                        "parallel_speedup_cold")):
+                if cold < args.min_cold_speedup:
+                    print(f"FAIL: sweep_exp1_mini.parallel_speedup_cold "
+                          f"= {cold:.2f}x < {args.min_cold_speedup:.2f}x "
+                          f"— a cold pool is losing to the serial loop",
+                          file=sys.stderr)
+                    return 1
+                print(f"OK: sweep_exp1_mini.parallel_speedup_cold = "
+                      f"{cold:.2f}x (>= {args.min_cold_speedup:.2f}x)")
+        diff = run_batch_differential()
+        if diff is not None:
+            if diff.get("skipped"):
+                print(f"SKIP: batch differential — {diff['skipped']}")
+            elif diff["mismatches"]:
+                print(f"FAIL: batch engine diverged from the scalar "
+                      f"engine on {diff['mismatches']} summaries "
+                      f"(of {diff['units']} units)", file=sys.stderr)
+                return 1
+            elif diff["fallbacks"] >= diff["units"]:
+                print("FAIL: batch engine fell back to scalar on every "
+                      "unit of a batch-eligible cell", file=sys.stderr)
+                return 1
+            else:
+                print(f"OK: batch differential — {diff['units']} units, "
+                      f"{diff['fallbacks']} scalar fallback(s), "
+                      f"summaries bitwise equal")
         probe = run_telemetry_probe()
         if probe is not None:
             if not probe.get("manifest_written"):
@@ -355,6 +586,15 @@ def main(argv: list[str] | None = None) -> int:
                   f"  warm {sweep['cache_warm_s']:.3f}s "
                   f"({sweep['cache_speedup']:.1f}x)")
         warn_if_parallel_regressed(record)
+    if record.get("batch_exp1"):
+        for label, block in (("batch (3 kernels)",
+                              record["batch_exp1"]["cheap"]),
+                             ("batch (4 kernels)",
+                              record["batch_exp1"]["full"])):
+            print(f"  {label:<18} scalar {block['scalar_s']:.2f}s  "
+                  f"batch {block['batch_s']:.2f}s "
+                  f"({block['speedup']:.2f}x at {block['seeds']} seeds, "
+                  f"{block['fallbacks']} fallbacks)")
     if record.get("telemetry"):
         probe = record["telemetry"]
         state = ("manifest ok" if probe.get("manifest_consistent")

@@ -7,9 +7,13 @@
 #
 # The perf guard fails when the engine_step mean degrades more than
 # 25% against the recorded trajectory, when the mini-sweep
-# parallel_speedup falls below 1.0, or when the instrumented mini
-# sweep fails to produce a consistent run manifest
-# (scripts/bench_record.py --check).
+# parallel_speedup falls below 1.0, when parallel_speedup_cold falls
+# below 0.85 (a cold pool must never lose to a serial loop doing the
+# same work; parity is the ceiling on a one-CPU host, 0.85 leaves
+# noise room yet still catches the 0.76x refork regression), when the
+# batch engine's summaries diverge bitwise from the scalar engine's,
+# or when the instrumented mini sweep fails to produce a consistent
+# run manifest (scripts/bench_record.py --check).
 # The full tier-1 gate remains `PYTHONPATH=src python -m pytest -x -q`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,6 +28,12 @@ PYTHONPATH=src python -m pytest -x -q \
 # The telemetry layer's own contracts: disabled-path overhead guard,
 # serial-equals-parallel merge, manifest consistency.
 PYTHONPATH=src python -m pytest -x -q -m telemetry
+
+# The vectorized batch engine's differential guard: its unit subset,
+# then one EXP-F1 mini-cell run batch="on" and batch="off" (serial and
+# parallel) whose cell fingerprints must match bit for bit.
+PYTHONPATH=src python -m pytest -x -q -m batch
+PYTHONPATH=src python scripts/batch_gate.py
 
 # Schedule-invariant audit over one reference cell and one
 # fault-matrix cell, every policy: fails on any Violation.

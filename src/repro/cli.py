@@ -131,6 +131,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         set_execution_defaults(
             unit_timeout=args.unit_timeout,
             on_failure="quarantine" if args.quarantine else None)
+    if args.batch is not None:
+        # Same pattern as the resilience knobs: a process-wide default
+        # every sweep() consults, so --batch reaches the figure
+        # drivers without new parameters on every signature.
+        from repro.experiments.runner import set_batch_default
+        set_batch_default(args.batch)
     if args.telemetry_dir or args.metrics_json:
         from repro.telemetry import TELEMETRY
         events = (Path(args.telemetry_dir) / "events.jsonl"
@@ -497,6 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan sweep cells out over N worker "
                             "processes (results are byte-identical to "
                             "a serial run; experiments that sweep)")
+    p_run.add_argument("--batch", default=None,
+                       choices=("auto", "on", "off"),
+                       help="vectorized multi-seed batch engine for "
+                            "batch-eligible sweeps (default auto: "
+                            "batch when the policy suite and run "
+                            "flags allow it and enough seeds miss the "
+                            "cache; results are byte-identical to the "
+                            "scalar engine either way)")
     p_run.add_argument("--cache-dir", metavar="DIR",
                        default=os.environ.get("REPRO_CACHE_DIR"),
                        help="persistent content-addressed suite cache: "

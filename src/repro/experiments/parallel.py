@@ -188,6 +188,11 @@ class WorkerPool:
         self.workers = workers
         self.token = token
         self.spec = spec  # strong ref keeps the token's ids unambiguous
+        #: True until the pool has completed its first dispatch: a
+        #: fresh pool still has to fork and warm its workers, so the
+        #: first generation runs its first chunk inline in the parent
+        #: (see run_cells) instead of idling behind the fork latency.
+        self.fresh = True
         self.executor = ProcessPoolExecutor(
             max_workers=workers, mp_context=mp.get_context("fork"))
 
@@ -279,6 +284,51 @@ def _suite_summaries(spec: dict[str, Any], x: float, seed: int,
             attempt += 1
 
 
+def _batch_prefetch(
+    spec: dict[str, Any],
+    chunk: list[tuple[int, int, float, int, int]],
+) -> dict[int, Any]:
+    """Vectorize a chunk's same-cell unit groups; ``{pos: summaries}``.
+
+    Only fires when the sweep spec decided the run is batch-eligible
+    (``spec["batch"]``), and only for groups of units sharing one
+    (cell, x) with at least ``spec["batch_min_seeds"]`` members — the
+    measured crossover below which numpy dispatch overhead beats the
+    vectorization win.  Returns only the seeds the batch engine
+    reproduced bitwise; everything else (including any error raised
+    inside the batch engine — an optimisation must never take a chunk
+    down) is left for the scalar per-unit path.
+    """
+    from repro.sim.batch import run_batch_suites
+
+    min_seeds = spec.get("batch_min_seeds", 2)
+    groups: dict[tuple[int, float], list[tuple[int, int]]] = {}
+    for pos, index, x, _seed_pos, seed in chunk:
+        groups.setdefault((index, x), []).append((pos, seed))
+    processor_factory = spec["processor_factory"]
+    prefetched: dict[int, Any] = {}
+    for (_index, x), members in groups.items():
+        if len(members) < min_seeds:
+            continue
+        try:
+            processor = (processor_factory(x) if processor_factory
+                         else ideal_processor())
+            rows = run_batch_suites(
+                x, [seed for _pos, seed in members],
+                make_workload=spec["make_workload"],
+                policy_names=spec["policy_names"],
+                processor=processor, horizon=spec["horizon"],
+                allow_misses=spec["allow_misses"])
+        except Exception:
+            continue
+        if rows is None:
+            continue
+        for (pos, _seed), row in zip(members, rows):
+            if row is not None:
+                prefetched[pos] = row
+    return prefetched
+
+
 def _run_chunk(
     chunk: list[tuple[int, int, float, int, int]],
 ) -> tuple[list[tuple[int, Any, Exception | None]], dict | None]:
@@ -306,12 +356,16 @@ def _run_chunk(
     audit_every = spec.get("audit_every")
     n_seeds = spec.get("n_seeds", 0)
     quarantining = spec.get("on_failure") == "quarantine"
+    prefetched = _batch_prefetch(spec, chunk) if spec.get("batch") else {}
     outcomes: list[tuple[int, Any, Exception | None]] = []
     for pos, index, x, seed_pos, seed in chunk:
         # Same unit positions as the serial loop, so spot-audit
         # selection is identical in both paths.
         audit = (audit_every is not None
                  and (index * n_seeds + seed_pos) % audit_every == 0)
+        if pos in prefetched and not audit:
+            outcomes.append((pos, prefetched[pos], None))
+            continue
         try:
             summaries = _suite_summaries(spec, x, seed, audit=audit)
         except Exception as exc:
@@ -460,6 +514,14 @@ def run_cells(
     max_retries = spec.get("max_retries", 0)
     retry_backoff = spec.get("retry_backoff", 0.25)
     unit_timeout = spec.get("unit_timeout")
+    # Effective parallelism.  On a one-CPU host (pinned CI containers)
+    # forked workers only timeshare against the parent while still
+    # paying fork, pickling and IPC — pure overhead — so dispatch
+    # degrades to running every chunk inline in the parent.  A chaos
+    # plan forces real dispatch regardless: injected crashes and hangs
+    # must land in expendable workers, and the supervision path they
+    # exercise is exactly what chaos runs exist to test.
+    inline_only = default_workers() <= 1 and spec.get("chaos") is None
 
     def cell_complete(index: int) -> bool:
         return (index in suites
@@ -558,11 +620,15 @@ def run_cells(
         if cell_complete(index):
             fold(index)
 
-    def merge_meta(meta: dict) -> None:
+    def merge_meta(meta: dict, *, inline: bool = False) -> None:
         # Fold the worker's chunk delta into the parent registry the
         # moment the chunk lands — the telemetry sibling of the
-        # in-seed-order cell folding.
-        _TELEMETRY.merge_snapshot(meta["telemetry"])
+        # in-seed-order cell folding.  An *inline* chunk ran in the
+        # parent process, so its counters already landed in the parent
+        # registry directly; merging its delta again would double
+        # count — only the chunk bookkeeping folds.
+        if not inline:
+            _TELEMETRY.merge_snapshot(meta["telemetry"])
         _TELEMETRY.record_worker(meta["pid"], chunks=1,
                                  units=meta["units"],
                                  busy_s=meta["wall_s"])
@@ -573,7 +639,8 @@ def run_cells(
         # worker lanes (repro.trace.timeline).
         _TELEMETRY.emit("parallel.chunk", pid=meta["pid"],
                         units=meta["units"], wall_s=meta["wall_s"],
-                        t0=meta.get("t0"), t1=meta.get("t1"))
+                        t0=meta.get("t0"), t1=meta.get("t1"),
+                        inline=inline)
 
     def consume(pool: WorkerPool,
                 chunk_futures: "dict[Any, int]",
@@ -693,9 +760,30 @@ def run_cells(
             continue
 
         size = 1 if mode == "isolated" else chunk_size
+        plans = plan_chunks(len(todo), workers, size)
+        inline_plans: list[list[int]] = []
+        if inline_only:
+            # Serial-first crossover, degenerate case: with one
+            # schedulable CPU the crossover point is never reached —
+            # forked workers would only timeshare against the parent —
+            # so every chunk runs inline and the pool never forks.
+            inline_plans = [todo[start:stop] for start, stop in plans]
+            plans = []
+        elif (pool.fresh and len(plans) > 1
+                and spec.get("chaos") is None):
+            # Cold pool: the workers still have to fork and warm up
+            # (interpreter pages, first-submit latency), time a serial
+            # sweep would already spend computing.  The parent runs the
+            # first chunk itself while the pool warms behind it, so a
+            # cold parallel sweep is never slower than the serial loop.
+            # Skipped under an installed chaos plan — injected crashes
+            # must land in (expendable) workers, never in the parent.
+            inline_plans = [todo[plans[0][0]:plans[0][1]]]
+            plans = plans[1:]
+        pool.fresh = False
         chunk_futures: dict[Any, int] = {}
         try:
-            for start, stop in plan_chunks(len(todo), workers, size):
+            for start, stop in plans:
                 positions = todo[start:stop]
                 chunk_futures[pool.executor.submit(
                     _run_chunk,
@@ -707,9 +795,26 @@ def run_cells(
                            len(chunk_futures))
             _TELEMETRY.emit("parallel.dispatch",
                             chunks=len(chunk_futures), units=len(todo),
-                            workers=workers, mode=mode)
-        max_units = max((len(todo[start:stop]) for start, stop in
-                         plan_chunks(len(todo), workers, size)),
+                            workers=workers, mode=mode,
+                            inline_units=sum(map(len, inline_plans)))
+        for positions in inline_plans:
+            # _SPEC is published (the pool was just acquired), so the
+            # worker entry point runs unchanged in the parent process;
+            # its telemetry delta merges like any worker chunk's.
+            # Chunk granularity keeps drain and lowest-failure
+            # semantics: a requested shutdown or a known lower-ordered
+            # failure stops the inline stream between chunks, exactly
+            # where the serial loop would stop.
+            if shutdown is not None and shutdown.requested:
+                break
+            if best_err is not None and positions[0] > best_err[0]:
+                break
+            outcomes, meta = _run_chunk([units[p] for p in positions])
+            if meta is not None and _TELEMETRY.enabled:
+                merge_meta(meta, inline=True)
+            for pos, summaries, err in outcomes:
+                resolve(pos, summaries, err)
+        max_units = max((len(todo[start:stop]) for start, stop in plans),
                         default=1)
         broke = consume(pool, chunk_futures, stall_budget(max_units)) or broke
         if broke:

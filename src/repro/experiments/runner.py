@@ -61,6 +61,11 @@ from repro.experiments.config import EXPERIMENT_PERIOD_CHOICES
 from repro.faults import FaultPlan
 from repro.policies.base import DvsPolicy
 from repro.policies.registry import make_policy
+from repro.sim.batch import (
+    BATCH_MODES,
+    decide_batch,
+    run_batch_suites,
+)
 from repro.sim.engine import simulate
 from repro.sim.results import SimulationResult
 from repro.telemetry import TELEMETRY
@@ -419,6 +424,26 @@ class SweepCheckpointer:
         TELEMETRY.emit("sweep.checkpoint", index=index, x=cell.x)
 
 
+#: Process-wide default batch mode, set by the CLI's ``--batch`` flag
+#: (the batch sibling of ``EXECUTION_DEFAULTS``).  ``sweep(batch=None)``
+#: resolves to this.
+_BATCH_DEFAULT = "auto"
+
+
+def set_batch_default(mode: str) -> None:
+    """Set the process-wide default batch mode ("auto", "on", "off")."""
+    if mode not in BATCH_MODES:
+        raise ExperimentError(
+            f"batch mode must be one of {BATCH_MODES}, got {mode!r}")
+    global _BATCH_DEFAULT
+    _BATCH_DEFAULT = mode
+
+
+def batch_default() -> str:
+    """The process-wide default batch mode."""
+    return _BATCH_DEFAULT
+
+
 def sweep(
     xs: Sequence[float],
     make_workload: Callable[[float, int], tuple[TaskSet, ExecutionModel]],
@@ -443,6 +468,7 @@ def sweep(
     audit_every: int | None = None,
     unit_timeout: float | None = None,
     on_failure: str | None = None,
+    batch: str | None = None,
 ) -> list[SweepCell]:
     """The generic experiment sweep.
 
@@ -517,6 +543,21 @@ def sweep(
     units drain, completed cells are checkpointed, the run manifest
     is flushed, and :class:`~repro.errors.SweepInterrupted` reports
     the sweep resumable.
+
+    *batch* selects the execution strategy for each cell's uncached
+    seeds (default: the process-wide mode set by ``repro run
+    --batch``): ``"auto"`` runs batch-eligible cells on the vectorized
+    multi-seed engine (:mod:`repro.sim.batch`) when nothing in the
+    sweep needs per-run instrumentation — see
+    :func:`repro.sim.batch.decide_batch` — and enough seeds miss the
+    cache to clear the measured crossover; ``"on"`` forces batching
+    (raising with the blocking reasons when the sweep is ineligible);
+    ``"off"`` always uses the scalar engine.  Batching is purely an
+    execution strategy: summaries, cache payloads, checkpoints,
+    manifests and telemetry counters are byte-identical to a scalar
+    run (seeds the batch engine cannot reproduce bitwise fall back to
+    the scalar engine automatically, as does any error raised inside
+    the batch engine itself).
     """
     if not xs:
         raise ExperimentError("sweep needs at least one x value")
@@ -542,6 +583,18 @@ def sweep(
         raise ExperimentError(
             f"on_failure must be 'raise' or 'quarantine', "
             f"got {on_failure!r}")
+    if batch is None:
+        batch = _BATCH_DEFAULT
+    batch_decision = decide_batch(
+        batch,
+        policy_names=policy_names,
+        overhead_aware=overhead_aware,
+        policy_factory=policy_factory,
+        faults_factory=faults_factory,
+        audit_every=audit_every,
+        unit_timeout=unit_timeout,
+        chaos=_chaos.current(),
+        telemetry_enabled=TELEMETRY.enabled)
     cache = None
     unit_key = None
     if cache_dir is not None:
@@ -637,12 +690,50 @@ def sweep(
                 _time.sleep(retry_backoff * (2.0 ** attempt))
                 attempt += 1
 
+    def batch_prefetch(x: float, seeds: list[int],
+                       cached: list) -> dict[int, dict[str, PolicySummary]]:
+        """Vectorize this cell's cache misses; ``{seed_pos: summaries}``.
+
+        Returns only the seeds the batch engine reproduced bitwise —
+        everything else (including any error raised inside the batch
+        engine, which is an optimisation and must never take a sweep
+        down) is left for the scalar per-unit path.
+        """
+        missing = [i for i, summaries in enumerate(cached)
+                   if summaries is None]
+        if len(missing) < batch_decision.min_seeds:
+            return {}
+        try:
+            processor = (processor_factory(x) if processor_factory
+                         else ideal_processor())
+            rows = run_batch_suites(
+                x, [seeds[i] for i in missing],
+                make_workload=make_workload,
+                policy_names=list(policy_names),
+                processor=processor, horizon=horizon,
+                allow_misses=allow_misses)
+        except Exception:
+            return {}
+        if rows is None:
+            return {}
+        return {i: row for i, row in zip(missing, rows)
+                if row is not None}
+
     def compute_cell(index: int, x: float) -> SweepCell:
         cell = SweepCell(x=float(x))
-        for seed_pos, seed in enumerate(
-                taskset_seeds(master_seed, n_tasksets)):
-            key = unit_key(float(x), seed) if cache is not None else None
-            summaries = cache.get(key) if cache is not None else None
+        seeds = list(taskset_seeds(master_seed, n_tasksets))
+        keys = [unit_key(float(x), seed) if cache is not None else None
+                for seed in seeds]
+        cached = [cache.get(key) if cache is not None else None
+                  for key in keys]
+        prefetched = (batch_prefetch(float(x), seeds, cached)
+                      if batch_decision.use else {})
+        for seed_pos, seed in enumerate(seeds):
+            summaries = cached[seed_pos]
+            if summaries is None and seed_pos in prefetched:
+                summaries = prefetched[seed_pos]
+                if cache is not None:
+                    cache.put(keys[seed_pos], summaries)
             if summaries is None:
                 try:
                     summaries = compute_unit(index, float(x),
@@ -654,14 +745,14 @@ def sweep(
                         exc, index=index, x=float(x), seed=seed,
                         seed_pos=seed_pos,
                         attempts=1 + retry_budget(exc, max_retries),
-                        fingerprint=key)
+                        fingerprint=keys[seed_pos])
                     if quarantine_store is not None:
                         quarantine_store.record(record)
                     TELEMETRY.inc("resilience.quarantined")
                     cell.quarantined.append(record.to_payload())
                     continue
                 if cache is not None:
-                    cache.put(key, summaries)
+                    cache.put(keys[seed_pos], summaries)
             cell.record_summaries(summaries)
         return cell
 
@@ -701,6 +792,8 @@ def sweep(
                             "n_seeds": n_tasksets,
                             "unit_timeout": unit_timeout,
                             "on_failure": on_failure,
+                            "batch": batch_decision.use,
+                            "batch_min_seeds": batch_decision.min_seeds,
                             # Workers snapshot the installed chaos
                             # plan at fork time; a plan change must
                             # invalidate the warm pool like any other

@@ -24,6 +24,7 @@ class CcEdfPolicy(DvsPolicy):
     """Cycle-conserving RT-DVS for EDF."""
 
     name = "ccEDF"
+    batch_kernel = "ccedf"
 
     def __init__(self) -> None:
         super().__init__()

@@ -23,6 +23,7 @@ class NoDvsPolicy(DvsPolicy):
     """
 
     name = "none"
+    batch_kernel = "full_speed"
 
     def select_speed(self, job: Job, ctx: "SimContext") -> Speed:
         return 1.0

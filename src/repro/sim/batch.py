@@ -1,0 +1,978 @@
+"""Vectorized multi-seed batch engine for one sweep cell.
+
+The scalar engine (:mod:`repro.sim.engine`) simulates one (taskset, seed,
+policy) run at a time.  A sweep cell is N near-identical runs that differ
+only in the seeded workload, so this module steps *all* seeds of one cell
+— and all batch-eligible policies — in lockstep: 2-D numpy arrays over
+(policy x seed, task) hold remaining work, release times, absolute
+deadlines and per-row clocks/speeds, with vectorized EDF selection and a
+vectorized port of the exact slack-time analysis for the array-friendly
+policies.
+
+Byte-identity contract
+----------------------
+The batch engine exists purely as an execution strategy: for every seed it
+completes, the resulting :class:`~repro.experiments.cache.PolicySummary`
+values are bitwise identical to what the scalar engine produces (same
+fingerprints, same cache payloads).  That is achievable because every
+floating-point expression here replicates the scalar engine's operation
+order exactly (e.g. repeated ``deadline += period`` becomes ``np.cumsum``,
+which accumulates sequentially; python ``sum`` over non-negative floats
+equals a zero-padded ``np.cumsum`` tail; ``speed ** alpha`` goes through
+libm ``pow`` because numpy's vectorized pow may differ by an ulp).
+Whenever a seed strays anywhere the lockstep loop cannot reproduce
+bit-for-bit — a deadline miss, a policy error, a degenerate taskset, an
+ambiguous slack grouping — the seed is *flagged* and handed back to the
+caller, which re-runs it on the scalar engine.  The differential guard
+(``tests/test_batch_engine.py``, ``scripts/batch_gate.py`` and
+``bench_record.py --check``) enforces the contract continuously.
+
+Eligibility
+-----------
+Policies advertise vector support through the ``batch_kernel`` hook on
+:class:`repro.policies.base.DvsPolicy`; the kernels implemented here cover
+``none``, ``static``, ``ccEDF`` and ``lpSTA``.  Runs with faults, tracing,
+audit, chaos, telemetry, custom factories or governor wrapping always use
+the scalar engine (see :func:`decide_batch`).  When numpy is not
+installed, :func:`batch_available` is False and every sweep silently runs
+scalar; ``batch="on"`` raises a clear error instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+try:  # numpy is a declared dependency, but degrade gracefully without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _np = None
+
+from repro.analysis.schedulability import minimum_constant_speed
+from repro.analysis.slack import scale_tasks
+from repro.cpu.power import PolynomialPowerModel
+from repro.cpu.processor import Processor
+from repro.cpu.speed import ContinuousScale
+from repro.cpu.transition import NoOverhead
+from repro.errors import ExperimentError
+from repro.types import DEADLINE_EPS, SPEED_EPS, TIME_EPS, WORK_EPS
+
+__all__ = [
+    "BATCH_AUTO_MIN_SEEDS",
+    "BATCH_MODES",
+    "BatchDecision",
+    "batch_available",
+    "batch_eligible_policies",
+    "decide_batch",
+    "numpy_missing_message",
+    "run_batch_suites",
+]
+
+BATCH_MODES = ("auto", "on", "off")
+
+#: Window cap used by the default lpSTA policy; the vector slack kernel
+#: is only valid for the default configuration (make_policy defaults).
+_LPSTA_WINDOW_CAP = 2.0
+
+#: Epsilon used by exact_slack when grouping deadlines / bounding the window.
+_SLACK_EPS = 1e-12
+
+_NUMPY_HINT = (
+    "repro.sim.batch requires numpy (declared in pyproject.toml "
+    "dependencies) but it is not importable in this environment. "
+    "Install it with 'pip install numpy' to enable batched sweeps; "
+    "until then every sweep automatically falls back to the scalar "
+    "engine (results are identical, only slower)."
+)
+
+#: Debug tap: set to a list to record (speed, duration, energy) for every
+#: vector dispatch, in execution order.  Used by the differential tests.
+_DEBUG = None
+
+#: Measured scalar/batch crossover: below this many seeds per group the
+#: numpy dispatch overhead outweighs the vectorization win (~0.8x at 4
+#: seeds, ~1.2x at 8, ~2x at 32, >5x at 256 on the reference host), so
+#: ``batch="auto"`` only batches groups with at least this many uncached
+#: seeds.  ``batch="on"`` forces batching down to 2 seeds — the
+#: differential gates rely on that to exercise the vector kernels on
+#: small cells.
+BATCH_AUTO_MIN_SEEDS = 8
+
+
+def batch_available() -> bool:
+    """True when numpy is importable and batching can run at all."""
+
+    return _np is not None
+
+
+def numpy_missing_message() -> str:
+    """The human-readable explanation used when numpy is absent."""
+
+    return _NUMPY_HINT
+
+
+def batch_eligible_policies() -> tuple[str, ...]:
+    """Registry policy names whose default instances expose a batch kernel."""
+
+    from repro.policies.registry import batch_eligible_names
+
+    return batch_eligible_names()
+
+
+@dataclass(frozen=True)
+class BatchDecision:
+    """Outcome of :func:`decide_batch`: whether to batch, and why (not).
+
+    ``min_seeds`` is the smallest group of uncached seeds worth
+    vectorizing under the decided mode (crossover-guarded for ``auto``,
+    2 for a forced ``on``); smaller groups run scalar either way.
+    """
+
+    use: bool
+    reason: str
+    min_seeds: int = 2
+
+
+def decide_batch(
+    mode: str,
+    *,
+    policy_names: Sequence[str],
+    overhead_aware: bool = False,
+    policy_factory: Optional[Callable] = None,
+    faults_factory: Optional[Callable] = None,
+    audit_every: Optional[int] = None,
+    unit_timeout: Optional[float] = None,
+    chaos: object = None,
+    telemetry_enabled: bool = False,
+) -> BatchDecision:
+    """Decide whether a sweep may use the batch engine.
+
+    ``mode`` is ``"auto"``, ``"on"`` or ``"off"``.  ``auto`` batches only
+    when at least one requested policy is batch-eligible and nothing in
+    the sweep requires per-run engine instrumentation (faults, audit,
+    chaos, telemetry, per-unit deadlines, custom factories).  ``on``
+    raises :class:`ExperimentError` with the blocking reasons instead of
+    silently degrading; ``off`` never batches.
+    """
+
+    if mode not in BATCH_MODES:
+        raise ExperimentError(
+            f"batch mode must be one of {BATCH_MODES}, got {mode!r}"
+        )
+    if mode == "off":
+        return BatchDecision(False, "batch=off")
+    reasons = []
+    if _np is None:
+        reasons.append(_NUMPY_HINT)
+    eligible = set(batch_eligible_policies())
+    if not any(name in eligible for name in policy_names):
+        reasons.append(
+            "no batch-eligible policy requested (eligible: "
+            + ", ".join(sorted(eligible))
+            + ")"
+        )
+    if overhead_aware:
+        reasons.append("overhead_aware wraps policies with governors")
+    if policy_factory is not None:
+        reasons.append("custom policy_factory supplies opaque policies")
+    if faults_factory is not None:
+        reasons.append("fault injection requires the scalar engine")
+    if audit_every is not None:
+        reasons.append("spot audit traces individual runs")
+    if unit_timeout is not None:
+        reasons.append("per-unit deadlines require per-unit execution")
+    if chaos is not None:
+        reasons.append("chaos injection hooks fire per unit")
+    if telemetry_enabled:
+        reasons.append("telemetry counters are folded per scalar run")
+    if not reasons:
+        return BatchDecision(
+            True, "eligible",
+            BATCH_AUTO_MIN_SEEDS if mode == "auto" else 2)
+    text = "; ".join(reasons)
+    if mode == "on":
+        raise ExperimentError(
+            "batch='on' requested but the sweep is not batch-eligible: "
+            + text
+        )
+    return BatchDecision(False, text)
+
+
+def _processor_supported(processor: Processor) -> bool:
+    """Only the ideal analytic processor model is replicated bitwise."""
+
+    return (
+        type(processor.scale) is ContinuousScale
+        and type(processor.power_model) is PolynomialPowerModel
+        and type(processor.transition_model) is NoOverhead
+        and processor.sleep_power == 0.0
+    )
+
+
+class _Fallback(Exception):
+    """Internal: this seed cannot be batched; run it on the scalar engine."""
+
+
+def run_batch_suites(
+    x: float,
+    seeds: Sequence[int],
+    *,
+    make_workload: Callable,
+    policy_names: Sequence[str],
+    processor: Processor,
+    horizon: float,
+    allow_misses: bool = False,
+):
+    """Run one cell's policy suites for many seeds in lockstep.
+
+    Returns a list aligned with ``seeds`` where each entry is either a
+    ``{policy_name: PolicySummary}`` dict (bitwise identical to the
+    scalar ``run_suite`` result for that seed) or ``None``, meaning the
+    caller must run that seed on the scalar engine (this covers both
+    genuinely ineligible seeds and seeds whose scalar run would raise —
+    the scalar fallback reproduces errors and retry semantics exactly).
+    Returns ``None`` for the whole cell when batching is impossible for
+    every seed (e.g. unsupported processor model).
+    """
+
+    if _np is None:
+        return None
+    if not _processor_supported(processor):
+        return None
+    if horizon is None or not horizon > 0.0:
+        return None
+    n = len(seeds)
+    if n == 0:
+        return []
+
+    from repro.experiments.cache import PolicySummary
+    from repro.policies.registry import POLICY_FACTORIES, make_policy
+    from repro.sim.engine import simulate
+
+    # The scalar run_suite result dict: baseline first, then the
+    # requested policies in order (skipping the baseline, deduplicated —
+    # a duplicate name overwrites its identical earlier entry).
+    suite_order = ["none"]
+    for name in policy_names:
+        if name != "none" and name not in suite_order:
+            suite_order.append(name)
+    kernels = {}
+    for name in suite_order:
+        factory = POLICY_FACTORIES.get(name)
+        kernels[name] = getattr(factory, "batch_kernel", None)
+    if kernels["none"] is None:  # pragma: no cover - defensive
+        return None
+    vector_names = [name for name in suite_order if kernels[name]]
+    scalar_names = [name for name in suite_order if not kernels[name]]
+
+    need_static = any(kernels[n_] == "static" for n_ in vector_names)
+    need_lpsta = any(kernels[n_] == "lpsta" for n_ in vector_names)
+
+    np = _np
+    out = [None] * n
+
+    # ---- per-seed setup: python loop, everything lands in 2-D arrays ----
+    setups = []
+    m = None
+    for pos, seed in enumerate(seeds):
+        try:
+            taskset, model = make_workload(float(x), seed)
+            taskset.assert_feasible_edf()
+            tasks = taskset.tasks
+            if m is None:
+                m = len(tasks)
+            if len(tasks) != m or m == 0:
+                raise _Fallback
+            # Implicit deadlines (deadline == period, the same float) make
+            # the slack event ladder static: (a + dl) + per and
+            # (a + per) + dl are the *same* float expression, so the
+            # per-call repeated-addition walk equals arrival + dl for the
+            # prefix-summed arrival table.  Those seeds pre-enumerate
+            # arrivals out to the widest possible analysis fence.
+            ladder_ok = all(t.deadline == t.period for t in tasks)
+            lad_end = None
+            if need_lpsta and ladder_ok:
+                max_per = max(t.period for t in tasks)
+                max_dl = max(t.deadline for t in tasks)
+                lad_end = (horizon + _LPSTA_WINDOW_CAP * max_per
+                           + max_dl + 1.0)
+            rel_rows = []
+            work_rows = []
+            for task in tasks:
+                # Inlined PeriodicArrival.arrival_time: the same
+                # phase-then-repeated-addition walk, without 65k method
+                # dispatches per cell.
+                per = task.period
+                t_k = task.phase
+                vals = []
+                k = 0
+                jobs = None
+                while True:
+                    vals.append(t_k)
+                    if jobs is None and t_k >= horizon - TIME_EPS:
+                        jobs = k
+                    if jobs is not None and (
+                            lad_end is None or t_k > lad_end):
+                        break
+                    k += 1
+                    if k > 4_000_000:
+                        raise _Fallback  # degenerate period vs horizon
+                    t_k = t_k + per
+                wvals = [model.work(task, i) for i in range(jobs)]
+                for w in wvals:
+                    if w <= 0.0 or w > task.wcet + TIME_EPS:
+                        raise _Fallback  # Job.from_task would reject this
+                rel_rows.append(vals)
+                work_rows.append(wvals)
+            entry = {
+                "pos": pos,
+                "tasks": tasks,
+                "taskset": taskset,
+                "model": model,
+                "rel_rows": rel_rows,
+                "work_rows": work_rows,
+                "ladder_ok": ladder_ok,
+            }
+            if need_static or need_lpsta:
+                s_min = minimum_constant_speed(taskset)
+                if need_static:
+                    entry["s_static"] = max(s_min, processor.min_speed)
+                if need_lpsta:
+                    s_lp = max(s_min, processor.min_speed, 1e-9)
+                    scaled = scale_tasks(tasks, s_lp)
+                    entry["s_lp"] = s_lp
+                    entry["scaled"] = scaled
+            setups.append(entry)
+        except _Fallback:
+            continue
+        except Exception:
+            continue  # scalar fallback reproduces (and reports) the error
+    if not setups:
+        return out
+
+    R = len(setups)
+    H = float(horizon)
+
+    period = np.empty((R, m))
+    wcet = np.empty((R, m))
+    dl_rel = np.empty((R, m))
+    util0 = np.empty((R, m))
+    name_rank = np.empty((R, m), dtype=np.int64)
+    max_period = np.empty(R)
+    s_static = np.ones(R)
+    s_lp = np.ones(R)
+    scaled_wcet = np.zeros((R, m))
+    scaled_util = np.zeros((R, m))
+    corr = np.zeros((R, m))
+
+    l_max = 1
+    for e in setups:
+        l_max = max(l_max, max(len(v) for v in e["rel_rows"]))
+    rel_tab = np.empty((R, m, l_max))
+    work_tab = np.zeros((R, m, l_max))
+
+    for r, e in enumerate(setups):
+        tasks = e["tasks"]
+        ranks = {nm: i for i, nm in enumerate(sorted(t.name for t in tasks))}
+        for j, task in enumerate(tasks):
+            period[r, j] = task.period
+            wcet[r, j] = task.wcet
+            dl_rel[r, j] = task.deadline
+            util0[r, j] = task.utilization
+            name_rank[r, j] = ranks[task.name]
+            vals = e["rel_rows"][j]
+            rel_tab[r, j, : len(vals)] = vals
+            rel_tab[r, j, len(vals):] = vals[-1]
+            wvals = e["work_rows"][j]
+            if wvals:
+                work_tab[r, j, : len(wvals)] = wvals
+        max_period[r] = max(t.period for t in tasks)
+        if need_static:
+            s_static[r] = e["s_static"]
+        if need_lpsta:
+            s_lp[r] = e["s_lp"]
+            for j, st in enumerate(e["scaled"]):
+                scaled_wcet[r, j] = st.wcet
+                scaled_util[r, j] = st.utilization
+                if st.deadline < st.period:
+                    corr[r, j] = st.wcet * (st.period - st.deadline) / st.period
+
+    # Static slack-event ladder (implicit-deadline cells): every future
+    # invocation deadline, merged and stably sorted once per seed.  The
+    # runtime kernel only masks (released / beyond-fence) and merges the
+    # <= m active entries — no per-call sort.
+    lad_d = None
+    if need_lpsta and all(e["ladder_ok"] for e in setups):
+        seed_lads = []
+        w_lad = 0
+        for r, e in enumerate(setups):
+            ds, ars, tids = [], [], []
+            for j, task in enumerate(e["tasks"]):
+                dlj = task.deadline
+                for a in e["rel_rows"][j]:
+                    ds.append(a + dlj)
+                    ars.append(a)
+                    tids.append(j)
+            ds = np.asarray(ds)
+            # Stable sort of the task-major enumeration reproduces the
+            # scalar's list order: ties keep (task, invocation) order,
+            # matching [task 0 ladder, task 1 ladder, ...] + stable sort.
+            o = np.argsort(ds, kind="stable")
+            seed_lads.append(
+                (ds[o], np.asarray(ars)[o], np.asarray(tids)[o]))
+            w_lad = max(w_lad, len(ds))
+        lad_d = np.full((R, w_lad), np.inf)
+        # Packed (deadline, arrival, weight) per entry: one gather pulls
+        # a whole window slice.
+        lad_pack = np.zeros((R, w_lad, 3))
+        lad_pack[:, :, 0] = np.inf
+        lad_pack[:, :, 1] = np.inf
+        lad_cov = np.empty(R)
+        for r, (ds, ars, tids) in enumerate(seed_lads):
+            lad_d[r, : len(ds)] = ds
+            lad_pack[r, : len(ds), 0] = ds
+            lad_pack[r, : len(ds), 1] = ars
+            lad_pack[r, : len(ds), 2] = scaled_wcet[r][tids]
+            lad_cov[r] = min(
+                setups[r]["rel_rows"][j][-1] + task.deadline
+                for j, task in enumerate(setups[r]["tasks"]))
+        # Fence never exceeds t + cap * max_period (implicit deadlines
+        # keep active deadlines within t + max_period), so a sliding
+        # window this wide always covers every in-fence event.
+        lad_win = 4 + max(
+            sum(int(_LPSTA_WINDOW_CAP * max(t.period for t in e["tasks"])
+                    / t.period) + 2 for t in e["tasks"])
+            for e in setups)
+        lad_win = min(lad_win, w_lad)
+
+    data = {
+        "period": period,
+        "wcet": wcet,
+        "dl_rel": dl_rel,
+        "util0": util0,
+        "name_rank": name_rank,
+        "max_period": max_period,
+        "s_static": s_static,
+        "s_lp": s_lp,
+        "scaled_wcet": scaled_wcet,
+        "scaled_util": scaled_util,
+        "corr": corr,
+        "rel_tab": rel_tab,
+        "work_tab": work_tab,
+        "lad_d": lad_d,
+        "lad_pack": lad_pack if lad_d is not None else None,
+        "lad_cov": lad_cov if lad_d is not None else None,
+        "lad_win": lad_win if lad_d is not None else None,
+        "horizon": H,
+        "min_speed": float(processor.min_speed),
+        "idle_power": float(processor.idle_power),
+        "dynamic": float(processor.power_model.dynamic),
+        "alpha": float(processor.power_model.alpha),
+        "static_power": float(processor.power_model.static),
+    }
+
+    kernel_list = [kernels[name] for name in vector_names]
+    res = _simulate_cell_vec(kernel_list, data)
+    # Each result array is (P, R): policy-major over the same seeds.
+    flagged = res["flagged"].any(axis=0)
+    policy_row = {name: p for p, name in enumerate(vector_names)}
+    busy_b = res["busy"]
+    idle_b = res["idle"]
+
+    # total_energy = busy + idle + switch + sleep; switch/sleep stay +0.0
+    # here, and x + 0.0 == x bitwise for the non-negative sums involved.
+    base_total = busy_b[policy_row["none"]] + idle_b[policy_row["none"]]
+    flagged |= ~(base_total > 0.0)  # scalar normalized_energy would raise
+
+    # Ineligible policies in a mixed suite run scalar per seed, inside the
+    # batch, against the vectorized baseline total (bitwise identical).
+    scalar_runs = {}
+    if scalar_names:
+        for r, e in enumerate(setups):
+            if flagged[r]:
+                continue
+            for name in scalar_names:
+                try:
+                    result = simulate(
+                        e["taskset"],
+                        processor,
+                        make_policy(name),
+                        e["model"],
+                        horizon=H,
+                        allow_misses=allow_misses,
+                    )
+                except Exception:
+                    flagged[r] = True
+                    break
+                scalar_runs[(r, name)] = result
+
+    for r, e in enumerate(setups):
+        if flagged[r]:
+            continue
+        bt = float(base_total[r])
+        summaries = {}
+        ok = True
+        for name in suite_order:
+            p = policy_row.get(name)
+            if p is not None:
+                total = float(busy_b[p, r] + idle_b[p, r])
+                summaries[name] = PolicySummary(
+                    normalized=total / bt,
+                    misses=0,
+                    switches=int(res["switches"][p, r]),
+                    overruns=0,
+                    released=int(res["released"][p, r]),
+                    interventions=0,
+                    dispatches=0,
+                )
+            else:
+                result = scalar_runs.get((r, name))
+                if result is None:  # pragma: no cover - defensive
+                    ok = False
+                    break
+                metrics = dict(result.policy_metrics)
+                summaries[name] = PolicySummary(
+                    normalized=result.total_energy / bt,
+                    misses=len(result.deadline_misses),
+                    switches=result.switch_count,
+                    overruns=result.overrun_jobs,
+                    released=result.jobs_released,
+                    interventions=int(metrics.get("interventions", 0)),
+                    dispatches=int(metrics.get("dispatches", 0)),
+                )
+        if ok:
+            out[e["pos"]] = summaries
+    return out
+
+
+def _simulate_cell_vec(kernel_names, data):
+    """Lockstep-simulate every (policy, seed) row of one cell at once.
+
+    Rows are laid out policy-major: row ``p * R + r`` runs kernel
+    ``kernel_names[p]`` on seed index ``r``.  Each iteration advances
+    every live row to its own next scheduling point (job completion,
+    preemption fence or idle-until-release), replicating the scalar
+    engine's operation order bitwise.  Rows that hit anything the vector
+    path cannot reproduce exactly are flagged for scalar fallback.
+
+    Returns ``(P, R)`` arrays: busy/idle energies, switch and release
+    counts, and the per-row fallback flags.
+    """
+
+    np = _np
+    period0 = data["period"]
+    R, m = period0.shape
+    P = len(kernel_names)
+    N = P * R
+    H = data["horizon"]
+    min_speed = data["min_speed"]
+    idle_power = data["idle_power"]
+    dyn = data["dynamic"]
+    alpha = data["alpha"]
+    stat = data["static_power"]
+    big_rank = np.iinfo(np.int64).max
+
+    # Per-(row, task) constants, tiled policy-major.
+    period = np.tile(period0, (P, 1))
+    wcet = np.tile(data["wcet"], (P, 1))
+    dl_rel = np.tile(data["dl_rel"], (P, 1))
+    util0 = np.tile(data["util0"], (P, 1))
+    name_rank = np.tile(data["name_rank"], (P, 1))
+    s_static = np.tile(data["s_static"], P)
+    s_lp = np.tile(data["s_lp"], P)
+    max_period = np.tile(data["max_period"], P)
+    scaled_wcet = np.tile(data["scaled_wcet"], (P, 1))
+    scaled_util = np.tile(data["scaled_util"], (P, 1))
+    corr = np.tile(data["corr"], (P, 1))
+
+    # Release/work tables stay un-tiled; rows index them via flat ids.
+    L = data["rel_tab"].shape[2]
+    rel_flat = data["rel_tab"].reshape(R * m, L)
+    work_flat = data["work_tab"].reshape(R * m, L)
+    slot_rows = (np.arange(N) % R)[:, None] * m + np.arange(m)[None, :]
+
+    kid = np.repeat(np.arange(P), R)
+    need_util = any(kn == "ccedf" for kn in kernel_names)
+
+    lad_d = data.get("lad_d")
+    lad_pack = data.get("lad_pack")
+    lad_cov = data.get("lad_cov")
+    lad_win = data.get("lad_win")
+    if lad_d is not None:
+        lad_last = lad_d.shape[1] - 1
+        # Per-row sliding window start into the sorted ladder: entries
+        # with d <= t are never future events (arrival > t implies
+        # d > t) and extras below t cannot be the minimum, so the
+        # pointer only ever advances.
+        lad_lo = np.zeros(N, dtype=np.int64)
+        lad_arange = np.arange(lad_win)
+    rr_all = np.arange(N)[:, None]
+    H_eps = H - TIME_EPS
+
+    now = np.zeros(N)
+    cur = np.ones(N)
+    busy = np.zeros(N)
+    idle = np.zeros(N)
+    switches = np.zeros(N, dtype=np.int64)
+    released = np.zeros(N, dtype=np.int64)
+    seq = np.zeros(N, dtype=np.int64)
+    flagged = np.zeros(N, dtype=bool)
+    done = np.zeros(N, dtype=bool)
+
+    active = np.zeros((N, m), dtype=bool)
+    executed = np.zeros((N, m))
+    release_t = np.zeros((N, m))
+    deadline = np.zeros((N, m))
+    work = np.zeros((N, m))
+    rel_seq = np.zeros((N, m), dtype=np.int64)
+    next_idx = np.zeros((N, m), dtype=np.int64)
+    nxt = rel_flat[slot_rows, next_idx]
+    util = util0.copy() if need_util else None
+
+    def snap(v):
+        # snap_nonnegative: -TIME_EPS <= v < 0 -> 0.0, else unchanged
+        return np.where((v >= -TIME_EPS) & (v < 0.0), 0.0, v)
+
+    # numpy's vectorized pow ufunc is allowed to differ from libm pow by
+    # an ulp; the scalar engine's `speed ** alpha` goes through libm, so
+    # the power evaluation must too (memoized — speeds repeat heavily).
+    pow_cache: dict = {}
+
+    def libm_pow(values):
+        uniq, inv = np.unique(values, return_inverse=True)
+        out = np.empty(uniq.shape)
+        for i, v in enumerate(uniq.tolist()):
+            p = pow_cache.get(v)
+            if p is None:
+                p = math.pow(v, alpha) if v > 0.0 else float("nan")
+                pow_cache[v] = p
+            out[i] = p
+        return out[inv]
+
+    def release_and_check(step_rows):
+        nonlocal seq, released, next_idx
+        rows_ok = step_rows & ~flagged
+        while True:
+            due = (
+                rows_ok[:, None]
+                & (nxt <= now[:, None] + TIME_EPS)
+                & (nxt < H - TIME_EPS)
+            )
+            if not due.any():
+                break
+            conflict = (due & active).any(axis=1)
+            if conflict.any():
+                # Scalar would stack a second live job of the same task;
+                # the transient two-job state is not representable here.
+                flagged[conflict] = True
+                rows_ok &= ~conflict
+                due &= rows_ok[:, None]
+                if not due.any():
+                    break
+            w_new = work_flat[slot_rows, next_idx]
+            ordinal = np.cumsum(due, axis=1)
+            rel_seq[due] = (seq[:, None] + ordinal - 1)[due]
+            release_t[due] = nxt[due]
+            deadline[due] = (nxt + dl_rel)[due]
+            work[due] = w_new[due]
+            executed[due] = 0.0
+            if util is not None:
+                util[due] = util0[due]
+            active[due] = True
+            cnt = due.sum(axis=1)
+            seq += cnt
+            released += cnt
+            next_idx += due
+            nxt[:] = rel_flat[slot_rows, next_idx]
+        missed = (active & (deadline < now[:, None] - DEADLINE_EPS)).any(axis=1)
+        flagged[step_rows & missed] = True
+
+    def slack_sta(rows, d_first):
+        """Vectorized exact_slack for the picked rows; returns (slack, bad)."""
+
+        k = rows.shape[0]
+        rr = rr_all[:k]
+        t = now[rows]
+        act = active[rows]
+        de = deadline[rows]
+        # max(0, x) == max(0, snap(x)) bitwise for every x, so the snap
+        # is dropped here.
+        budget = np.where(
+            act,
+            np.maximum(0.0, wcet[rows] - executed[rows])
+            / s_lp[rows][:, None],
+            0.0,
+        )
+
+        # Active budgets in engine-list order (= release sequence order)
+        # for the tail guard's left-to-right addition chain.
+        order = np.argsort(
+            np.where(act, rel_seq[rows], big_rank), axis=1, kind="stable"
+        )
+        a_w = budget[rr, order]
+
+        if lad_d is not None:
+            # Static-ladder path.  Implicit deadlines keep every active
+            # deadline within t + max_period, so the scalar's
+            # max(latest_active, t + cap*maxP) is the cap term bitwise.
+            window_end = t + _LPSTA_WINDOW_CAP * max_period[rows]
+            fence = window_end + _SLACK_EPS
+            # Slide a window over the pre-sorted invocation deadlines
+            # (entries with d <= t can never matter: future events have
+            # arrival > t, and zero-weight extras below the dispatched
+            # deadline are unusable candidates), mask it, and stably
+            # sort [actives | window] — exactly the scalar's list +
+            # stable sort, at window width instead of full size.  The
+            # period grid makes exact cross-task deadline ties routine,
+            # and only the stable merge reproduces the scalar's
+            # within-group addition order (actives in list order, then
+            # events task-major).  Already-released invocations keep
+            # their deadline with weight 0: such extra candidates can
+            # never lower the minimum because the dispatched job's own
+            # deadline (d_first) is always a real candidate and g grows
+            # between real candidates.
+            srow = rows % R
+            lo = lad_lo[rows]
+            while True:
+                adv = (lad_d[srow, lo] <= t) & (lo < lad_last)
+                if not adv.any():
+                    break
+                lo += adv
+            lad_lo[rows] = lo
+            cols = np.minimum(lo[:, None] + lad_arange, lad_last)
+            G = lad_pack[srow[:, None], cols]
+            D = G[..., 0]
+            A = G[..., 1]
+            in_fence = D <= fence[:, None]
+            # The window's last entry must already lie beyond the fence
+            # (and the pre-enumerated ladder must cover the fence), else
+            # events could be missed or clamp-duplicated -> scalar.
+            cov_bad = (fence > lad_cov[srow]) | in_fence[:, -1]
+            in_fence &= ~cov_bad[:, None]
+            # Released iff arrival <= now + eps and arrival < H - eps —
+            # exactly the release rule, so no per-task gather is needed.
+            fut = (A > t[:, None] + TIME_EPS) | (A >= H_eps)
+            sw_e = np.where(in_fence & fut, G[..., 2], 0.0)
+            sd_e = np.where(in_fence, D, np.inf)
+            dl = np.where(act, de, np.inf)
+            a_d = dl[rr, order]
+            d_all = np.concatenate([a_d, sd_e], axis=1)
+            w_all = np.concatenate([a_w, sw_e], axis=1)
+            o2 = np.argsort(d_all, axis=1, kind="stable")
+            sd = d_all[rr, o2]
+            sw = w_all[rr, o2]
+        else:
+            # Dynamic path (constrained deadlines): rebuild and sort the
+            # event walk per call — repeated addition == cumsum.
+            cov_bad = None
+            dl = np.where(act, de, np.inf)
+            latest = np.max(np.where(act, de, -np.inf), axis=1)
+            window_end = np.maximum(
+                latest, t + _LPSTA_WINDOW_CAP * max_period[rows]
+            )
+            fence = window_end + _SLACK_EPS
+            a_d = dl[rr, order]
+            d0 = nxt[rows] + dl_rel[rows]
+            per = period[rows]
+            cnt = np.where(
+                d0 <= fence[:, None],
+                np.floor((fence[:, None] - d0) / per) + 1.0,
+                0.0,
+            )
+            K = max(int(cnt.max()) + 2, 2) if cnt.size else 2
+            while True:
+                dmat = np.empty((k, m, K))
+                dmat[:, :, 0] = d0
+                dmat[:, :, 1:] = per[:, :, None]
+                np.cumsum(dmat, axis=2, out=dmat)
+                if not (dmat[:, :, -1] <= fence[:, None]).any():
+                    break
+                K *= 2  # pragma: no cover - cnt bound is exact
+            valid = dmat <= fence[:, None, None]
+            d_ev = np.where(valid, dmat, np.inf).reshape(k, m * K)
+            w_ev = np.where(
+                valid, scaled_wcet[rows][:, :, None], 0.0
+            ).reshape(k, m * K)
+            d_all = np.concatenate([a_d, d_ev], axis=1)
+            w_all = np.concatenate([a_w, w_ev], axis=1)
+            o2 = np.argsort(d_all, axis=1, kind="stable")
+            sd = d_all[rr, o2]
+            sw = w_all[rr, o2]
+        h = np.cumsum(sw, axis=1)
+
+        gaps = sd[:, 1:] - sd[:, :-1]
+        # Scalar grouping folds against the group head with a 1e-12 slop;
+        # near-but-not-equal deadlines can group differently -> fall back.
+        bad = ((gaps > 0.0) & (gaps <= _SLACK_EPS)).any(axis=1)
+        if cov_bad is not None:
+            bad |= cov_bad
+
+        is_end = np.empty(sd.shape, dtype=bool)
+        is_end[:, -1] = True
+        # gaps is nan inside the trailing inf padding; nan != 0 marks
+        # those as ends, which is harmless — isfinite() excludes them.
+        is_end[:, :-1] = gaps != 0.0
+        usable = (
+            is_end & np.isfinite(sd) & (sd >= d_first[:, None] - _SLACK_EPS)
+        )
+        g = sd - t[:, None] - h
+        best = np.min(np.where(usable, g, np.inf), axis=1)
+
+        # _tail_guard: python sum over actives (in list order) then, per
+        # task in taskset order, a utilization term and a constrained-
+        # deadline correction.  That exact left-to-right addition chain
+        # is one sequential cumsum over [active budgets | t_0 c_0 t_1
+        # ...].  On the ladder path every deadline is implicit, so the
+        # scalar adds no correction terms at all and they are omitted.
+        if lad_d is not None:
+            terms = np.empty((k, 2 * m))
+            terms[:, :m] = a_w
+            terms[:, m:] = scaled_util[rows] * np.maximum(
+                0.0, window_end[:, None] - nxt[rows]
+            )
+        else:
+            terms = np.empty((k, m + 2 * m))
+            terms[:, :m] = a_w
+            terms[:, m::2] = scaled_util[rows] * np.maximum(
+                0.0, window_end[:, None] - nxt[rows]
+            )
+            terms[:, m + 1::2] = corr[rows]
+        tot = np.cumsum(terms, axis=1)[:, -1]
+        tail = window_end - t - tot
+        best = np.minimum(best, tail)
+        return np.maximum(0.0, best), bad
+
+    def dispatch(rows, fence):
+        k = rows.shape[0]
+        dl = np.where(active[rows], deadline[rows], np.inf)
+        d_first = dl.min(axis=1)
+        cand = active[rows] & (dl == d_first[:, None])
+        rel = np.where(cand, release_t[rows], np.inf)
+        cand &= rel == rel.min(axis=1)[:, None]
+        rank = np.where(cand, name_rank[rows], big_rank)
+        j = rank.argmin(axis=1)
+
+        w_p = work[rows, j]
+        ex_p = executed[rows, j]
+        rw = snap(w_p - ex_p)
+
+        desired = np.empty(k)
+        kk = kid[rows]
+        for p, kernel in enumerate(kernel_names):
+            sel = kk == p
+            if not sel.any():
+                continue
+            sub = rows[sel]
+            if kernel == "full_speed":
+                desired[sel] = 1.0
+            elif kernel == "static":
+                desired[sel] = s_static[sub]
+            elif kernel == "ccedf":
+                # sum(dict.values()) in taskset order == sequential cumsum
+                tot = np.cumsum(util[sub], axis=1)[:, -1]
+                desired[sel] = np.maximum(tot, min_speed)
+            elif kernel == "lpsta":
+                ex_sub = ex_p[sel]
+                rwc = np.maximum(0.0, wcet[sub, j[sel]] - ex_sub)
+                slack, slack_bad = slack_sta(sub, d_first[sel])
+                flagged[sub[slack_bad]] = True
+                allot = rwc / s_lp[sub] + slack
+                val = np.minimum(1.0, np.maximum(min_speed, rwc / allot))
+                desired[sel] = np.where(rwc <= _SLACK_EPS, cur[sub], val)
+            else:  # pragma: no cover - unknown kernel
+                flagged[sub] = True
+                desired[sel] = 1.0
+
+        bad = np.isnan(desired)
+        q = np.minimum(1.0, np.maximum(min_speed, desired))
+        bad |= (q <= 0.0) | (q > 1.0 + TIME_EPS)
+        prev = cur[rows]
+        sw = np.abs(q - prev) > SPEED_EPS
+        speed = np.where(sw, q, prev)
+        switches[rows] = switches[rows] + sw.astype(np.int64)
+        cur[rows] = speed
+
+        completion = now[rows] + rw / speed
+        to_completion = completion <= fence
+        next_point = np.where(to_completion, completion, fence)
+        retired = np.where(
+            to_completion,
+            rw,
+            np.minimum(speed * (next_point - now[rows]), rw),
+        )
+        duration = next_point - now[rows]
+        bad |= ~(duration > 0.0)
+        new_total = ex_p + np.maximum(0.0, retired)
+        bad |= new_total > w_p + 1e-6
+        ex_new = np.minimum(new_total, w_p)
+        energy = (dyn * libm_pow(speed) + stat) * duration
+        if _DEBUG is not None:
+            for i in range(k):
+                _DEBUG.append(
+                    (float(speed[i]), float(duration[i]), float(energy[i]))
+                )
+        busy[rows] = busy[rows] + energy
+        now[rows] = next_point
+
+        fin = snap(w_p - ex_new) <= WORK_EPS
+        ex_new = np.where(fin, w_p, ex_new)
+        executed[rows, j] = ex_new
+        # met_deadline(eps=DEADLINE_EPS) is completion <= deadline + eps
+        bad |= fin & (next_point > deadline[rows, j] + DEADLINE_EPS)
+        active[rows, j] = active[rows, j] & ~fin
+        if util is not None:
+            util[rows, j] = np.where(fin, w_p / period[rows, j], util[rows, j])
+        flagged[rows[bad]] = True
+
+    # Iteration bound: each job contributes at most a handful of
+    # scheduling points; anything beyond that is a stall -> fall back.
+    total_jobs = int((L - 1) * m)
+    max_iters = 32 + 16 * max(total_jobs, 1)
+    iters = 0
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        # Initial releases at t=0 (Simulator._reset + _process_releases).
+        release_and_check(~done)
+        done |= now >= H - TIME_EPS
+
+        while True:
+            live = ~(flagged | done)
+            if not live.any():
+                break
+            iters += 1
+            if iters > max_iters:  # pragma: no cover - defensive
+                flagged[live] = True
+                break
+            nxt_min = nxt.min(axis=1)
+            nr_glob = np.where(nxt_min < H - TIME_EPS, nxt_min, H)
+            has_active = active.any(axis=1)
+            idle_rows = live & ~has_active
+            disp_rows = live & has_active
+            if idle_rows.any():
+                until = nr_glob
+                stall = idle_rows & (until <= now + TIME_EPS)
+                if stall.any():  # pragma: no cover - defensive
+                    flagged[stall] = True
+                    idle_rows &= ~stall
+                add = idle_power * (until - now)
+                idle[idle_rows] = idle[idle_rows] + add[idle_rows]
+                now[idle_rows] = until[idle_rows]
+            if disp_rows.any():
+                rows = np.nonzero(disp_rows)[0]
+                dispatch(rows, nr_glob[rows])
+            release_and_check(live)
+            done |= now >= H - TIME_EPS
+
+    # Simulator._final_miss_check: any still-active job due within the
+    # horizon is a miss -> scalar fallback.
+    pending = (active & (deadline <= H + TIME_EPS)).any(axis=1)
+    flagged |= pending
+
+    return {
+        "busy": busy.reshape(P, R),
+        "idle": idle.reshape(P, R),
+        "switches": switches.reshape(P, R),
+        "released": released.reshape(P, R),
+        "flagged": flagged.reshape(P, R),
+    }

@@ -1,0 +1,280 @@
+"""Vectorized batch engine: the differential guard (DESIGN.md §12).
+
+The contract under test: the batch engine is purely an execution
+strategy.  For every seed it completes, the ``PolicySummary`` values —
+and therefore cache payloads, checkpoints and cell fingerprints — are
+**bitwise identical** to the scalar engine's; any seed (or whole cell)
+it cannot reproduce bit-for-bit is handed back for scalar execution;
+anything that needs per-run instrumentation (faults, audit, chaos,
+telemetry, custom factories, per-unit deadlines) never batches at all;
+and a missing numpy degrades to the scalar engine silently under
+``auto`` and with a clear error under ``on``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cpu.profiles import ideal_processor, xscale_processor
+from repro.errors import ExperimentError
+from repro.experiments.runner import bcwc_model, standard_taskset, sweep
+from repro.faults import FaultPlan, OverrunFault
+from repro.policies.registry import batch_eligible_names, make_policy
+from repro.sim import batch
+from repro.sim.batch import (
+    BATCH_AUTO_MIN_SEEDS,
+    batch_available,
+    decide_batch,
+    run_batch_suites,
+)
+from repro.sim.engine import simulate
+
+pytestmark = pytest.mark.batch
+
+HORIZON = 600.0
+VECTOR_POLICIES = ("none", "static", "ccEDF", "lpSTA")
+MIXED_POLICIES = ("none", "static", "ccEDF", "lpSTA", "lpSEH")
+
+
+def workload(u: float, seed: int):
+    return standard_taskset(8, u, seed), bcwc_model(0.5, seed)
+
+
+def scalar_suite(u: float, seed: int, policies) -> dict:
+    """The scalar reference: run_suite's summary projection, inline."""
+    from repro.experiments.cache import PolicySummary
+
+    taskset, model = workload(u, seed)
+    processor = ideal_processor()
+    out = {}
+    baseline = None
+    for name in dict.fromkeys(("none",) + tuple(policies)):
+        result = simulate(taskset, processor, make_policy(name), model,
+                          horizon=HORIZON)
+        if baseline is None:
+            baseline = result
+        metrics = result.policy_metrics
+        out[name] = PolicySummary(
+            normalized=result.normalized_energy(baseline),
+            misses=len(result.deadline_misses),
+            switches=result.switch_count,
+            overruns=result.overrun_jobs,
+            released=result.jobs_released,
+            interventions=int(metrics.get("interventions", 0)),
+            dispatches=int(metrics.get("dispatches", 0)))
+    return out
+
+
+def payloads(cells) -> list[str]:
+    return [json.dumps(cell.to_payload()) for cell in cells]
+
+
+class TestDifferential:
+    """Batch summaries are bitwise equal to the scalar engine's."""
+
+    @pytest.mark.parametrize("u", (0.3, 0.7, 0.9))
+    def test_every_eligible_policy_matches_scalar(self, u):
+        seeds = list(range(6))
+        rows = run_batch_suites(
+            u, seeds, make_workload=workload,
+            policy_names=VECTOR_POLICIES, processor=ideal_processor(),
+            horizon=HORIZON)
+        assert rows is not None
+        for seed, row in zip(seeds, rows):
+            if row is None:  # declared fallback: scalar covers it
+                continue
+            reference = scalar_suite(u, seed, VECTOR_POLICIES)
+            for name in VECTOR_POLICIES:
+                assert row[name] == reference[name], (u, seed, name)
+
+    def test_most_seeds_batch_on_reference_cell(self):
+        # The engine may flag individual seeds back to scalar, but the
+        # reference cell must overwhelmingly batch or the strategy is
+        # pointless.
+        seeds = list(range(8))
+        rows = run_batch_suites(
+            0.7, seeds, make_workload=workload,
+            policy_names=VECTOR_POLICIES, processor=ideal_processor(),
+            horizon=HORIZON)
+        assert rows is not None
+        assert sum(row is not None for row in rows) >= 6
+
+    def test_mixed_suite_runs_ineligible_policies_scalar(self):
+        seeds = [0, 1, 2]
+        rows = run_batch_suites(
+            0.7, seeds, make_workload=workload,
+            policy_names=MIXED_POLICIES, processor=ideal_processor(),
+            horizon=HORIZON)
+        assert rows is not None
+        for seed, row in zip(seeds, rows):
+            if row is None:
+                continue
+            reference = scalar_suite(0.7, seed, MIXED_POLICIES)
+            assert row == reference
+
+    def test_unsupported_processor_falls_back_whole_cell(self):
+        rows = run_batch_suites(
+            0.7, [0, 1], make_workload=workload,
+            policy_names=VECTOR_POLICIES,
+            processor=xscale_processor(), horizon=HORIZON)
+        assert rows is None
+
+
+class TestEligibility:
+    """decide_batch routes every instrumented run to the scalar engine."""
+
+    def kwargs(self, **overrides):
+        base = dict(policy_names=VECTOR_POLICIES)
+        base.update(overrides)
+        return base
+
+    def test_plain_sweep_is_eligible(self):
+        decision = decide_batch("auto", **self.kwargs())
+        assert decision.use
+        assert decision.min_seeds == BATCH_AUTO_MIN_SEEDS
+
+    def test_forced_on_lowers_the_crossover(self):
+        assert decide_batch("on", **self.kwargs()).min_seeds == 2
+
+    def test_off_never_batches(self):
+        assert not decide_batch("off", **self.kwargs()).use
+
+    @pytest.mark.parametrize("blocker", (
+        {"overhead_aware": True},
+        {"policy_factory": lambda x: make_policy},
+        {"faults_factory": lambda x, seed: None},
+        {"audit_every": 1},
+        {"unit_timeout": 5.0},
+        {"chaos": object()},
+        {"telemetry_enabled": True},
+    ))
+    def test_instrumented_runs_stay_scalar(self, blocker):
+        decision = decide_batch("auto", **self.kwargs(**blocker))
+        assert not decision.use
+        with pytest.raises(ExperimentError, match="not batch-eligible"):
+            decide_batch("on", **self.kwargs(**blocker))
+
+    def test_no_eligible_policy_stays_scalar(self):
+        decision = decide_batch(
+            "auto", **self.kwargs(policy_names=("lpSEH", "laEDF")))
+        assert not decision.use
+        assert "no batch-eligible policy" in decision.reason
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ExperimentError, match="batch mode"):
+            decide_batch("sometimes", **self.kwargs())
+
+    def test_eligible_names_cover_the_four_kernels(self):
+        assert set(batch_eligible_names()) == set(VECTOR_POLICIES)
+
+    def test_nondefault_lpsta_instance_drops_its_kernel(self):
+        from repro.policies.slack_sta import LpStaPolicy
+
+        assert LpStaPolicy().batch_kernel == "lpsta"
+        assert LpStaPolicy(window_cap_periods=1.0).batch_kernel is None
+        assert LpStaPolicy(baseline="full").batch_kernel is None
+
+
+class TestSweepIntegration:
+    """sweep(batch=...) is byte-identical to scalar in every mode."""
+
+    XS = (0.4, 0.8)
+
+    def sweep_payloads(self, **kwargs):
+        return payloads(sweep(self.XS, workload, MIXED_POLICIES,
+                              n_tasksets=3, horizon=HORIZON, **kwargs))
+
+    def test_serial_on_matches_off(self):
+        assert (self.sweep_payloads(batch="on")
+                == self.sweep_payloads(batch="off"))
+
+    def test_parallel_on_matches_serial_off(self):
+        from repro.experiments.parallel import fork_available
+
+        if not fork_available():
+            pytest.skip("parallel executor needs fork()")
+        assert (self.sweep_payloads(batch="on", workers=2)
+                == self.sweep_payloads(batch="off"))
+
+    def test_faulted_sweep_routes_scalar_and_matches(self):
+        # Fault injection is batch-ineligible: auto must silently run
+        # the scalar engine and produce identical cells; a forced "on"
+        # must refuse loudly.
+        def faults(x, seed):
+            return FaultPlan(seed=seed,
+                             overrun=OverrunFault(1.5, probability=0.5))
+
+        scalar = self.sweep_payloads(batch="off", faults_factory=faults,
+                                     allow_misses=True)
+        auto = self.sweep_payloads(batch="auto", faults_factory=faults,
+                                   allow_misses=True)
+        assert auto == scalar
+        with pytest.raises(ExperimentError, match="not batch-eligible"):
+            self.sweep_payloads(batch="on", faults_factory=faults,
+                                allow_misses=True)
+
+    def test_audited_sweep_routes_scalar(self):
+        scalar = self.sweep_payloads(batch="off", audit_every=3)
+        auto = self.sweep_payloads(batch="auto", audit_every=3)
+        assert auto == scalar
+
+    def test_auto_crossover_skips_small_cells(self, monkeypatch):
+        # Under "auto" a 3-seed cell sits below the measured crossover:
+        # the batch engine must not even be consulted.
+        calls = []
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return None
+
+        import repro.experiments.runner as runner_mod
+        monkeypatch.setattr(runner_mod, "run_batch_suites", counting)
+        self.sweep_payloads(batch="auto")
+        assert calls == []
+        self.sweep_payloads(batch="on")
+        assert calls != []
+
+    def test_batch_engine_error_never_kills_the_sweep(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise RuntimeError("vector kernel bug")
+
+        import repro.experiments.runner as runner_mod
+        monkeypatch.setattr(runner_mod, "run_batch_suites", explode)
+        assert (self.sweep_payloads(batch="on")
+                == self.sweep_payloads(batch="off"))
+
+    def test_prefetched_units_land_in_the_cache(self, tmp_path):
+        kwargs = dict(cache_dir=tmp_path, workload_id="test:batch-cache")
+        first = self.sweep_payloads(batch="on", **kwargs)
+        # Second run replays from cache (batch finds nothing missing).
+        second = self.sweep_payloads(batch="on", **kwargs)
+        assert first == second
+        assert list(tmp_path.glob("**/*.json"))
+
+
+class TestNumpyAbsent:
+    """Without numpy the sweep degrades to the scalar engine."""
+
+    def test_batch_available_tracks_numpy(self, monkeypatch):
+        monkeypatch.setattr(batch, "_np", None)
+        assert not batch_available()
+        assert run_batch_suites(
+            0.7, [0, 1], make_workload=workload,
+            policy_names=VECTOR_POLICIES, processor=ideal_processor(),
+            horizon=HORIZON) is None
+
+    def test_auto_falls_back_silently(self, monkeypatch):
+        scalar = sweep((0.5,), workload, VECTOR_POLICIES, n_tasksets=2,
+                       horizon=HORIZON, batch="off")
+        monkeypatch.setattr(batch, "_np", None)
+        degraded = sweep((0.5,), workload, VECTOR_POLICIES, n_tasksets=2,
+                         horizon=HORIZON, batch="auto")
+        assert payloads(degraded) == payloads(scalar)
+
+    def test_forced_on_raises_with_the_hint(self, monkeypatch):
+        monkeypatch.setattr(batch, "_np", None)
+        with pytest.raises(ExperimentError, match="requires numpy"):
+            sweep((0.5,), workload, VECTOR_POLICIES, n_tasksets=2,
+                  horizon=HORIZON, batch="on")
