@@ -41,6 +41,7 @@ from repro.cpu.profiles import ideal_processor
 from repro.experiments.config import DEFAULT_POLICIES
 from repro.experiments.runner import bcwc_model, run_suite, standard_taskset
 from repro.policies.registry import make_policy
+from repro.sim import fastcore
 from repro.sim.engine import simulate
 
 #: Reduced horizon: long enough that per-dispatch costs dominate
@@ -77,16 +78,71 @@ def slack_fixture(workload):
 
 
 def test_engine_step(benchmark, workload):
+    """Interpreted engine anchor.
+
+    Pinned to the interpreted loop regardless of whether the compiled
+    core is built, so the recorded trajectory (and ci_fast's 25%
+    regression guard) keeps measuring the same code path on every
+    host; ``engine_step_compiled`` tracks the compiled core.
+    """
     taskset, model = workload
 
     def run():
-        return simulate(taskset, ideal_processor(),
-                        make_policy("static"), model,
-                        horizon=BENCH_HORIZON)
+        with fastcore.forced(False):
+            return simulate(taskset, ideal_processor(),
+                            make_policy("static"), model,
+                            horizon=BENCH_HORIZON)
 
     result = benchmark(run)
     assert result.jobs_completed > 0
     assert not result.deadline_misses
+
+
+def test_engine_step_compiled(benchmark, workload):
+    """Compiled engine anchor (DESIGN.md §13); skipped when not built.
+
+    Same workload, policy and horizon as ``engine_step`` — the ratio
+    of the two recorded means is the compiled-core speedup the
+    acceptance criteria track (>= 2x).
+    """
+    if not fastcore.compiled_available():
+        pytest.skip("compiled core not built (REPRO_COMPILE=1)")
+    taskset, model = workload
+
+    def run():
+        with fastcore.forced(True):
+            return simulate(taskset, ideal_processor(),
+                            make_policy("static"), model,
+                            horizon=BENCH_HORIZON)
+
+    result = benchmark(run)
+    assert result.jobs_completed > 0
+    assert not result.deadline_misses
+
+
+def test_faultmatrix_cell(benchmark, workload):
+    """One governed fault-matrix run: the instrumented path batch can
+    never take (faults + governor force the scalar engine), i.e. the
+    path the compiled core exists to accelerate.  Runs on whichever
+    backend is active by default, like the sweeps themselves."""
+    from repro.faults import FaultPlan
+    from repro.faults.plan import OverrunFault, TransitionFault
+
+    taskset_fm = standard_taskset(6, 0.65, BENCH_SEED)
+    model_fm = bcwc_model(0.5, BENCH_SEED)
+
+    def run():
+        return simulate(
+            taskset_fm, ideal_processor(),
+            make_policy("lpSEH", governed=True, governor_margin=1.3),
+            model_fm, horizon=BENCH_HORIZON, allow_misses=True,
+            faults=FaultPlan(
+                seed=BENCH_SEED,
+                overrun=OverrunFault(factor=1.3, probability=0.3),
+                transition=TransitionFault(stuck_probability=0.2)))
+
+    result = benchmark(run)
+    assert result.jobs_completed > 0
 
 
 def test_exact_slack(benchmark, slack_fixture):

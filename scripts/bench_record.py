@@ -9,6 +9,12 @@ sweep, and writes one JSON record so speedups are tracked PR-over-PR::
     python scripts/bench_record.py --label baseline   # BENCH_<today>.baseline.json
     python scripts/bench_record.py --compare BENCH_old.json
     python scripts/bench_record.py --check BENCH_old.json  # CI guard
+    python scripts/bench_record.py --check   # vs newest BENCH_*.json
+
+``--compare`` and ``--check`` given without a value resolve the
+baseline themselves: the newest ``BENCH_*.json`` by the date embedded
+in the *filename* (ties broken by full name), never by directory
+enumeration order, and both print which baseline was used.
 
 The ``sweep_exp1_mini`` block times the executor the way a figure
 driver uses it — repeated ``sweep()`` calls against the warm worker
@@ -48,7 +54,11 @@ inline-first (and the exact ceiling on a single-CPU host, where the
 paired estimator measures 0.93–1.04 across runs), so the default
 leaves a noise allowance while still failing decisively on the
 regression this guards against — reforking the pool per sweep, which
-measured 0.76x.  ``--check`` also runs the batch
+measured 0.76x.  When the compiled engine core (DESIGN.md §13) was
+measured on this host, ``--check`` also enforces the
+``engine_step / engine_step_compiled`` mean ratio against
+``--min-compiled-speedup`` (default 2.0); hosts without the extension
+print a loud SKIP instead.  ``--check`` also runs the batch
 engine's differential guard — every ``PolicySummary`` of one
 batch-eligible cell computed by both engines must be bitwise equal —
 and replays the ``telemetry`` probe — one instrumented mini sweep that
@@ -68,6 +78,7 @@ import datetime as _dt
 import inspect
 import json
 import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -75,6 +86,46 @@ import time
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d{4}-\d{2}-\d{2})")
+
+
+def latest_bench_record(repo: Path = REPO) -> Path | None:
+    """Newest ``BENCH_*.json`` by the date embedded in the filename.
+
+    Deterministic: records sort on the parsed date (ties — e.g. a
+    labeled record from the same day — break on the full filename),
+    never on directory enumeration order or mtime, so ``--compare``
+    and ``--check`` pick the same baseline on every filesystem.
+    """
+    best: tuple[tuple[_dt.date, str], Path] | None = None
+    for path in repo.glob("BENCH_*.json"):
+        match = _BENCH_NAME.match(path.name)
+        if not match:
+            continue
+        try:
+            date = _dt.date.fromisoformat(match.group(1))
+        except ValueError:
+            continue
+        key = (date, path.name)
+        if best is None or key > best[0]:
+            best = (key, path)
+    return best[1] if best else None
+
+
+def _resolve_baseline(value: str | None) -> Path:
+    """Turn a --compare/--check argument into a baseline path.
+
+    An explicit path is used as given; no value (or ``latest``) picks
+    the newest checked-in record via :func:`latest_bench_record`.
+    """
+    if value and value != "latest":
+        return Path(value)
+    latest = latest_bench_record()
+    if latest is None:
+        raise SystemExit(
+            "no BENCH_*.json record found to compare against")
+    return latest
 
 #: Mini EXP-F1 sweep used for the wall-clock number: big enough that
 #: per-cell costs dominate pool startup, small enough for CI.
@@ -465,11 +516,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--label", default=None,
                         help="tag inserted into the default filename, "
                              "e.g. 'baseline'")
-    parser.add_argument("--compare", default=None, metavar="BENCH_JSON",
-                        help="print speedups against an earlier record")
-    parser.add_argument("--check", default=None, metavar="BENCH_JSON",
+    parser.add_argument("--compare", nargs="?", const="latest",
+                        default=None, metavar="BENCH_JSON",
+                        help="print speedups against an earlier record; "
+                             "with no value, the newest BENCH_*.json by "
+                             "the date in its filename")
+    parser.add_argument("--check", nargs="?", const="latest",
+                        default=None, metavar="BENCH_JSON",
                         help="regression guard: exit 1 when engine_step "
-                             "degrades more than --max-regression")
+                             "degrades more than --max-regression; with "
+                             "no value, the newest BENCH_*.json by the "
+                             "date in its filename")
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="allowed fractional engine_step slowdown "
                              "for --check (default 0.25)")
@@ -485,15 +542,32 @@ def main(argv: list[str] | None = None) -> int:
                              "so the default allows measurement noise "
                              "while still catching the refork-per-sweep "
                              "regression (0.76x) outright (default 0.85)")
+    parser.add_argument("--min-compiled-speedup", type=float, default=2.0,
+                        help="minimum engine_step/engine_step_compiled "
+                             "mean ratio for --check, enforced only when "
+                             "the compiled anchor was measured on this "
+                             "host (default 2.0)")
     parser.add_argument("--skip-sweep", action="store_true",
                         help="record only the microbenchmarks")
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO / "src"))
+    # Read the --compare baseline before anything is written: the
+    # record this run writes may overwrite the newest BENCH_*.json
+    # (same-day re-record), and comparing a record against itself is
+    # vacuous.
+    compare_baseline = None
+    if args.compare:
+        path = _resolve_baseline(args.compare)
+        compare_baseline = (path.name, json.loads(path.read_text()))
     record = build_record(skip_sweep=args.skip_sweep or bool(args.check))
 
     if args.check:
-        baseline = json.loads(Path(args.check).read_text())
+        baseline_path = _resolve_baseline(args.check)
+        baseline = json.loads(baseline_path.read_text())
+        print(f"baseline: {baseline_path.name}"
+              + (" (newest BENCH record by filename date)"
+                 if args.check == "latest" else ""))
         base = baseline["hotpath"]["engine_step"]["mean_s"]
         now = record["hotpath"]["engine_step"]["mean_s"]
         slowdown = now / base - 1.0
@@ -505,6 +579,20 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 1
         print("OK: engine hot path within the regression guard")
+        compiled = record["hotpath"].get("engine_step_compiled")
+        if compiled is not None:
+            ratio = now / compiled["mean_s"]
+            if ratio < args.min_compiled_speedup:
+                print(f"FAIL: compiled core speedup {ratio:.2f}x < "
+                      f"{args.min_compiled_speedup:.2f}x "
+                      f"(engine_step / engine_step_compiled)",
+                      file=sys.stderr)
+                return 1
+            print(f"OK: compiled core speedup {ratio:.2f}x "
+                  f"(>= {args.min_compiled_speedup:.2f}x)")
+        else:
+            print("SKIP: compiled core speedup — extension not built "
+                  "on this host")
         if (baseline.get("sweep_exp1_mini") or {}).get("parallel_speedup"):
             record["sweep_exp1_mini"] = run_sweep_timings()
             speedup = record["sweep_exp1_mini"].get("parallel_speedup")
@@ -602,9 +690,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {'telemetry':<18} instrumented sweep "
               f"{probe['sweep_s']:.2f}s  {state}")
 
-    if args.compare:
-        baseline = json.loads(Path(args.compare).read_text())
-        print(f"vs {args.compare}:")
+    if compare_baseline is not None:
+        baseline_name, baseline = compare_baseline
+        print(f"vs {baseline_name}"
+              + (" (newest BENCH record by filename date):"
+                 if args.compare == "latest" else ":"))
         for line in compare(record, baseline):
             print(line)
     return 0

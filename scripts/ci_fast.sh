@@ -12,8 +12,10 @@
 # same work; parity is the ceiling on a one-CPU host, 0.85 leaves
 # noise room yet still catches the 0.76x refork regression), when the
 # batch engine's summaries diverge bitwise from the scalar engine's,
-# or when the instrumented mini sweep fails to produce a consistent
-# run manifest (scripts/bench_record.py --check).
+# when the compiled engine core runs less than 2x faster than the
+# interpreted loop (hosts where it was built), or when the
+# instrumented mini sweep fails to produce a consistent run manifest
+# (scripts/bench_record.py --check).
 # The full tier-1 gate remains `PYTHONPATH=src python -m pytest -x -q`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,6 +37,15 @@ PYTHONPATH=src python -m pytest -x -q -m telemetry
 PYTHONPATH=src python -m pytest -x -q -m batch
 PYTHONPATH=src python scripts/batch_gate.py
 
+# Compiled engine core (DESIGN.md §13): its unit subset, then one
+# EXP-F1 mini-cell and one fault-matrix cell run with the compiled
+# core forced off and on (serial and parallel) whose cell fingerprints
+# must match bit for bit.  The gate builds the extension in place when
+# a C toolchain exists and skips loudly when none does — the
+# interpreted engine is the contract on such hosts.
+PYTHONPATH=src python -m pytest -x -q -m compiled
+PYTHONPATH=src python scripts/compiled_gate.py
+
 # Schedule-invariant audit over one reference cell and one
 # fault-matrix cell, every policy: fails on any Violation.
 PYTHONPATH=src python scripts/trace_audit_gate.py
@@ -44,10 +55,11 @@ PYTHONPATH=src python scripts/trace_audit_gate.py
 # clean-run fingerprint byte for byte.
 PYTHONPATH=src python scripts/chaos_gate.py
 
-latest=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
-if [[ -z "${latest}" ]]; then
+# Perf guard: bench_record.py resolves the newest BENCH_*.json itself
+# (by the date in the filename, not directory order) and names the
+# baseline it compared against.
+if ! ls BENCH_*.json >/dev/null 2>&1; then
     echo "no BENCH_*.json record found; skipping the perf guard"
     exit 0
 fi
-echo "perf guard vs ${latest}"
-PYTHONPATH=src python scripts/bench_record.py --check "${latest}"
+PYTHONPATH=src python scripts/bench_record.py --check

@@ -1,8 +1,25 @@
 """Setuptools shim for environments without the `wheel` package.
 
-`pip install -e .` uses pyproject.toml; this file only enables
-`python setup.py develop` as an offline fallback.
+`pip install -e .` uses pyproject.toml; this file additionally wires
+the *optional* compiled engine core (DESIGN.md §13): set
+``REPRO_COMPILE=1`` to build ``repro.sim._fastcore`` from C during
+install (``REPRO_COMPILE=1 pip install -e .`` or
+``REPRO_COMPILE=1 python setup.py build_ext --inplace``).  Plain
+installs skip the extension entirely and run interpreted — the
+extension is declared ``optional`` so even a broken toolchain degrades
+to the interpreted engine instead of failing the install.
 """
-from setuptools import setup
+import os
 
-setup()
+from setuptools import Extension, setup
+
+ext_modules = []
+if os.environ.get("REPRO_COMPILE", "").strip().lower() in {"1", "on",
+                                                           "true", "yes"}:
+    ext_modules.append(Extension(
+        "repro.sim._fastcore",
+        sources=["src/repro/sim/_fastcore.c"],
+        optional=True,
+    ))
+
+setup(ext_modules=ext_modules)

@@ -63,6 +63,51 @@ from repro.errors import ConfigurationError
 from repro.tasks.task import PeriodicTask
 from repro.types import Time, Work
 
+# The compiled slack kernels (repro.sim._fastcore, DESIGN.md §13) are
+# resolved lazily: importing repro.sim.fastcore at module level would
+# close an import cycle back through repro.sim.engine, which imports
+# this module for ActiveJob/SystemState.
+_fastcore = None
+
+
+def _slack_kernels():
+    """The compiled kernel module, or ``None`` (absent or disabled)."""
+    global _fastcore
+    if _fastcore is None:
+        from repro.sim import fastcore
+        _fastcore = fastcore
+    return _fastcore.slack_kernels()
+
+
+# Per-tasks-tuple flattened columns, keyed by tuple identity.  Policies
+# reuse one (possibly scaled) task tuple across every scheduling point
+# of a run, so the flatten cost is paid once per run, not per call.
+# The tuple itself is pinned in the value so an id() can never be
+# recycled while its entry is alive.
+_FLAT_CACHE: dict[int, tuple] = {}
+
+
+def _flat_tasks(tasks: tuple[PeriodicTask, ...]) -> tuple:
+    """``(names, rel_deadline, period, wcet, utilization, correction)``
+    columns for *tasks*, in task order."""
+    entry = _FLAT_CACHE.get(id(tasks))
+    if entry is not None and entry[0] is tasks:
+        return entry[1]
+    columns = (
+        tuple(task.name for task in tasks),
+        tuple(task.deadline for task in tasks),
+        tuple(task.period for task in tasks),
+        tuple(task.wcet for task in tasks),
+        tuple(task.utilization for task in tasks),
+        tuple(task.wcet * (task.period - task.deadline) / task.period
+              if task.deadline < task.period else 0.0
+              for task in tasks),
+    )
+    if len(_FLAT_CACHE) > 128:
+        _FLAT_CACHE.clear()
+    _FLAT_CACHE[id(tasks)] = (tasks, columns)
+    return columns
+
 
 @dataclass(frozen=True, slots=True)
 class ActiveJob:
@@ -227,6 +272,17 @@ def exact_slack(state: SystemState, *,
         window_end = max(latest_active,
                          t + window_cap_periods * max_period)
 
+    kernels = _slack_kernels()
+    if kernels is not None:
+        names, rdl, per, wcet, util, corr = _flat_tasks(state.tasks)
+        next_release = state.next_release
+        return kernels.exact_slack_walk(
+            t, d_first, window_end,
+            tuple(job.deadline for job in state.active),
+            tuple(job.remaining_wcet for job in state.active),
+            tuple(next_release[name] for name in names),
+            rdl, per, wcet, util, corr)
+
     # Demand events: (deadline, work step).  Every future job of a task
     # contributes exactly one event at its own absolute deadline.
     events: list[tuple[Time, Work]] = [
@@ -273,6 +329,16 @@ def heuristic_slack(state: SystemState) -> Time:
         raise ConfigurationError("slack analysis requires an active job")
     t = state.time
     d_first = state.earliest_deadline
+    kernels = _slack_kernels()
+    if kernels is not None:
+        names, _rdl, _per, _wcet, util, corr = _flat_tasks(state.tasks)
+        next_release = state.next_release
+        return kernels.heuristic_slack_walk(
+            t, d_first,
+            tuple(job.deadline for job in state.active),
+            tuple(job.remaining_wcet for job in state.active),
+            tuple(next_release[name] for name in names),
+            util, corr)
     # Pre-extract the per-job and per-task terms once: the candidate
     # loop below re-evaluates the linear demand bound at every
     # candidate, and doing so through demand_linear_bound() would

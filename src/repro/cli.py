@@ -26,6 +26,11 @@ Commands
     trace (or compact JSONL), ``audit`` a run against the schedule
     invariants, ``diff`` two JSONL traces (first divergent segment),
     ``timeline`` a sweep's telemetry events as a worker-lane trace.
+``doctor``
+    Report the execution backends this install will actually use:
+    numpy, the vectorized batch engine's eligible policies, the
+    compiled engine core (DESIGN.md §13) and the parallel executor's
+    default worker count.
 """
 
 from __future__ import annotations
@@ -137,6 +142,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # drivers without new parameters on every signature.
         from repro.experiments.runner import set_batch_default
         set_batch_default(args.batch)
+    if args.no_compiled:
+        from repro.sim import fastcore
+        fastcore.set_compiled_default(False)
     if args.telemetry_dir or args.metrics_json:
         from repro.telemetry import TELEMETRY
         events = (Path(args.telemetry_dir) / "events.jsonl"
@@ -261,6 +269,9 @@ def _build_policy(args: argparse.Namespace, name: str, margin: float):
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.experiments.parallel import map_forked
+    if args.no_compiled:
+        from repro.sim import fastcore
+        fastcore.set_compiled_default(False)
     policy_names = [name.strip() for name in args.policy.split(",")
                     if name.strip()]
     unknown = [name for name in policy_names
@@ -298,6 +309,41 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if args.gantt and result.trace is not None:
             print("gantt:",
                   result.trace.render_gantt(width=100, end=horizon))
+    return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Report which execution backends this install will actually use."""
+    from repro.experiments.parallel import default_workers, fork_available
+    from repro.sim import fastcore
+    from repro.sim.batch import batch_eligible_policies
+
+    print(f"python:         {sys.version.split()[0]} "
+          f"({sys.platform})")
+    print(f"numpy:          {np.__version__}")
+
+    eligible = batch_eligible_policies()
+    print(f"batch engine:   eligible policies: {', '.join(eligible)}")
+    print(f"                (other policies, faults, governors, traces "
+          f"and sporadic arrivals route to the scalar engine)")
+
+    info = fastcore.core_info()
+    if info["available"]:
+        state = "enabled" if info["enabled"] else \
+            "present but disabled (REPRO_COMPILED=0 / --no-compiled)"
+        print(f"compiled core:  {info['backend']} — {state}")
+        print(f"                runs this process: "
+              f"{info['runs']['compiled']} compiled, "
+              f"{info['runs']['interpreted']} interpreted")
+    else:
+        print("compiled core:  not built — interpreted engine only")
+        print("                (build with: REPRO_COMPILE=1 pip "
+              "install -e .)")
+
+    workers = default_workers()
+    fork = "fork available" if fork_available() else \
+        "no fork: sweeps run inline"
+    print(f"parallel:       default workers: {workers} ({fork})")
     return 0
 
 
@@ -511,6 +557,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "flags allow it and enough seeds miss the "
                             "cache; results are byte-identical to the "
                             "scalar engine either way)")
+    p_run.add_argument("--no-compiled", action="store_true",
+                       help="force the interpreted engine even when the "
+                            "compiled core extension is built (results "
+                            "are byte-identical either way; equivalent "
+                            "to REPRO_COMPILED=0)")
     p_run.add_argument("--cache-dir", metavar="DIR",
                        default=os.environ.get("REPRO_CACHE_DIR"),
                        help="persistent content-addressed suite cache: "
@@ -545,6 +596,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_sim)
     p_sim.add_argument("--gantt", action="store_true",
                        help="print an ASCII Gantt strip")
+    p_sim.add_argument("--no-compiled", action="store_true",
+                       help="force the interpreted engine even when the "
+                            "compiled core extension is built "
+                            "(equivalent to REPRO_COMPILED=0)")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_trace = sub.add_parser(
@@ -621,6 +676,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with a directory, render every manifest "
                               "instead of only the newest")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_doc = sub.add_parser("doctor",
+                           help="report the execution backends this "
+                                "install will use (numpy, batch "
+                                "engine, compiled core, workers)")
+    p_doc.set_defaults(func=_cmd_doctor)
     return parser
 
 

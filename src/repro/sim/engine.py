@@ -28,6 +28,7 @@ from repro.errors import (
     SimulationError,
 )
 from repro.faults import FaultPlan, FaultyArrival, FaultyExecution
+from repro.sim import fastcore as _fastcore
 from repro.sim.results import DeadlineMiss, SimulationResult, TaskStats
 from repro.sim.scheduler import EDFScheduler, Scheduler
 from repro.sim.tracing import TraceRecorder
@@ -279,17 +280,18 @@ class Simulator:
         self.policy.bind(self.taskset, self.processor)
         if self.idle_policy is not None:
             self.idle_policy.bind(self.taskset, self.processor)
-        self._process_releases()
+        if not _fastcore.run_compiled(self):
+            self._process_releases()
 
-        while self._now < self.horizon - TIME_EPS:
-            job = self.scheduler.pick(self._active)
-            if job is None:
-                self._handle_empty_queue()
-                self._process_releases()
-                continue
-            self._dispatch(job)
+            while self._now < self.horizon - TIME_EPS:
+                job = self.scheduler.pick(self._active)
+                if job is None:
+                    self._handle_empty_queue()
+                    self._process_releases()
+                    continue
+                self._dispatch(job)
 
-        self._final_miss_check()
+            self._final_miss_check()
         result.policy_metrics = dict(self.policy.metrics())
         result.trace = self._trace if self.record_trace else None
         result.notes = self._trace.notes
