@@ -55,6 +55,14 @@ PYTHONPATH=src python scripts/trace_audit_gate.py
 # clean-run fingerprint byte for byte.
 PYTHONPATH=src python scripts/chaos_gate.py
 
+# Live-observability contract (DESIGN.md §14): the watch subset, then
+# one EXP-F1 mini-cell at --workers 2 whose progress.jsonl must be
+# schema-valid and time-monotonic, count exactly the sweep's units,
+# match the run manifest's progress block field for field, and leave
+# the cell results byte-identical with the stream on or off.
+PYTHONPATH=src python -m pytest -x -q -m watch
+PYTHONPATH=src python scripts/progress_gate.py
+
 # Perf guard: bench_record.py resolves the newest BENCH_*.json itself
 # (by the date in the filename, not directory order) and names the
 # baseline it compared against.

@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""CI gate: a sweep's progress stream narrates exactly what happened.
+
+Runs one EXP-F1 mini-cell on the parallel executor (``--workers 2``,
+cold cache) with the progress stream enabled and fails unless the
+stream holds to its contract (DESIGN.md §14):
+
+* structurally valid — only schema-known event kinds, strictly
+  increasing ``seq``, non-decreasing ``ts``, one ``sweep.start``
+  first, one terminal ``sweep.done``;
+* complete — the completed-unit count equals the sweep's cell x seed
+  unit count, every cell reports done, and the parallel run's
+  ``chunk.dispatch`` events actually appear;
+* consistent — the reader's terminal snapshot equals the run
+  manifest's ``progress`` block field for field (the block is defined
+  as the stream's ``sweep.done`` summary repeated verbatim, so any
+  drift means the writer and the runner disagree about what ran);
+* equivalent — a serial run of the same sweep yields the same
+  {unit.done, cell.done, cell.resumed} event substance and
+  byte-identical cells;
+* off-switch — a sweep with no progress/checkpoint/telemetry
+  directory writes no stream and produces byte-identical cells (the
+  stream is pure observability, never part of the result).
+
+Exits non-zero on the first broken contract, printing what diverged.
+
+Usage: PYTHONPATH=src python scripts/progress_gate.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments.parallel import fork_available, shutdown_pool
+from repro.experiments.runner import bcwc_model, standard_taskset, sweep
+from repro.telemetry import TELEMETRY
+from repro.telemetry.manifest import RunManifest
+from repro.telemetry.progress import (
+    PROGRESS_FILENAME,
+    read_progress,
+    validate_stream,
+)
+
+XS = (0.3, 0.7)
+N_TASKSETS = 3
+HORIZON = 300.0
+POLICIES = ("none", "static", "lpSTA")
+UNITS = len(XS) * N_TASKSETS
+
+
+def workload(u: float, seed: int):
+    return standard_taskset(6, u, seed), bcwc_model(0.5, seed)
+
+
+def fingerprint(cells) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    for cell in cells:
+        digest.update(json.dumps(cell.to_payload()).encode())
+    return digest.hexdigest()
+
+
+def run(directory: Path | None, workers: int):
+    kwargs = {}
+    if directory is not None:
+        kwargs["progress_dir"] = directory
+    try:
+        return sweep(XS, workload, POLICIES, n_tasksets=N_TASKSETS,
+                     horizon=HORIZON, workers=workers,
+                     workload_id="progress-gate", **kwargs)
+    finally:
+        if workers > 1:
+            shutdown_pool()
+
+
+def event_substance(path: Path) -> list[tuple]:
+    events = []
+    for line in path.read_text().splitlines():
+        event = json.loads(line)
+        if event["kind"] == "unit.done":
+            events.append(("unit.done", event["index"],
+                           event["seed_pos"], event["status"]))
+        elif event["kind"] in ("cell.done", "cell.resumed"):
+            events.append((event["kind"], event["index"]))
+    return sorted(events)
+
+
+def main() -> int:
+    failures = []
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        print(f"{'ok  ' if ok else 'FAIL'} {label}"
+              + (f": {detail}" if detail and not ok else ""))
+        if not ok:
+            failures.append(label)
+
+    workers = 2 if fork_available() else 1
+    if workers == 1:
+        print("progress gate: no fork on this host; gating the serial "
+              "stream only")
+
+    with tempfile.TemporaryDirectory(prefix="progress-gate-") as tmp:
+        tmp = Path(tmp)
+        par_dir = tmp / "parallel"
+        ser_dir = tmp / "serial"
+
+        TELEMETRY.configure(enabled=True, manifest_dir=str(par_dir))
+        try:
+            par_cells = run(par_dir, workers)
+        finally:
+            TELEMETRY.configure(enabled=False)
+            TELEMETRY.reset()
+        ser_cells = run(ser_dir, 1)
+        bare_cells = run(None, 1)
+
+        stream = par_dir / PROGRESS_FILENAME
+        problems = validate_stream(stream)
+        check("stream schema-valid and time-monotonic", not problems,
+              "; ".join(problems[:5]))
+
+        snap = read_progress(par_dir)
+        check("sweep completed", snap.finished
+              and snap.status == "completed",
+              f"status={snap.status} finished={snap.finished}")
+        check("completed units == cell unit count",
+              snap.done == UNITS and snap.computed == UNITS,
+              f"done={snap.done} computed={snap.computed} "
+              f"expected={UNITS}")
+        check("every cell reported done",
+              snap.cells_done == snap.cells == len(XS)
+              and all(c.done == N_TASKSETS for c in snap.per_cell),
+              f"cells_done={snap.cells_done} "
+              f"per_cell={[c.done for c in snap.per_cell]}")
+        check("no corrupt lines", snap.corrupt_lines == 0,
+              f"{snap.corrupt_lines} corrupt line(s)")
+        if workers > 1:
+            kinds = {json.loads(line)["kind"]
+                     for line in stream.read_text().splitlines()}
+            check("parallel dispatch narrated",
+                  "chunk.dispatch" in kinds,
+                  f"kinds seen: {sorted(kinds)}")
+
+        manifests = sorted(par_dir.glob("manifest_*.json"))
+        check("run manifest written", bool(manifests))
+        if manifests:
+            manifest = RunManifest.load(manifests[-1])
+            check("manifest progress block == terminal snapshot",
+                  manifest.progress == snap.summary(),
+                  f"manifest={manifest.progress} "
+                  f"snapshot={snap.summary()}")
+
+        check("serial stream equivalent",
+              event_substance(ser_dir / PROGRESS_FILENAME)
+              == event_substance(stream),
+              "serial and parallel unit/cell event sets differ")
+
+        fp = fingerprint(ser_cells)
+        check("cells byte-identical across modes",
+              fingerprint(par_cells) == fp
+              and fingerprint(bare_cells) == fp,
+              "narrated/parallel/bare runs disagree on results")
+        check("no stream without a directory",
+              not Path(PROGRESS_FILENAME).exists(),
+              "a bare sweep wrote progress.jsonl into the cwd")
+
+    if failures:
+        print(f"progress gate: {len(failures)} contract(s) broken")
+        return 1
+    print(f"progress gate: {UNITS} units narrated, stream valid, "
+          f"snapshot == manifest, fingerprints equal")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,17 @@ Commands
     exits non-zero when anything drifted).
 ``stats``
     Render a telemetry run manifest (written by ``run
-    --telemetry-dir``) as an ASCII audit report.
+    --telemetry-dir``) as an ASCII audit report; ``--follow`` first
+    watches the live progress stream until the sweep finishes.
+``watch``
+    Attach to a running (or finished) sweep's ``progress.jsonl`` and
+    render a refreshing status view — per-cell bars, throughput, ETA,
+    recent failures, stall detection; ``--json`` prints one snapshot.
+``runs``
+    The cross-run registry: ``list``/``show``/``compare``/``gc``
+    ingested run records (sweep manifests auto-ingest via ``run
+    --registry-dir`` / ``REPRO_REGISTRY_DIR``; ``ingest`` folds in
+    manifests and checked-in ``BENCH_*.json`` perf records by hand).
 ``trace``
     Schedule traces: ``export`` one run as a Perfetto-loadable Chrome
     trace (or compact JSONL), ``audit`` a run against the schedule
@@ -151,6 +161,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   if args.telemetry_dir else None)
         TELEMETRY.configure(enabled=True, events_path=events,
                             manifest_dir=args.telemetry_dir)
+    if args.registry_dir:
+        # Same process-wide-default pattern again: written manifests
+        # auto-ingest into this registry (repro runs list).
+        from repro.telemetry.registry import set_registry_dir
+        set_registry_dir(args.registry_dir)
     for name in names:
         started = time.time()
         if name in TABLES:
@@ -368,6 +383,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.errors import ExperimentError
     from repro.telemetry.manifest import RunManifest, render_manifest
     target = Path(args.manifest)
+    if args.follow:
+        # Reuse the watch plumbing: follow the live progress stream
+        # until the sweep finishes, then fall through to rendering the
+        # manifest it wrote.
+        from repro.telemetry.watch import watch
+        if not target.is_dir():
+            print("--follow needs a sweep directory (the progress "
+                  "stream lives next to the manifests)", file=sys.stderr)
+            return 2
+        code = watch(target, interval=args.interval)
+        if code != 0:
+            return code
     if target.is_dir():
         candidates = sorted(target.glob("manifest_*.json"))
         if not candidates:
@@ -386,6 +413,111 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             print()
         print(f"[{path}]")
         print(render_manifest(manifest))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.errors import ExperimentError
+    from repro.telemetry.watch import watch
+    if args.json:
+        from repro.telemetry.progress import read_progress
+        try:
+            snap = read_progress(args.target,
+                                 stall_after=args.stall_after)
+        except ExperimentError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(json.dumps(snap.to_payload(), indent=2, sort_keys=True))
+        return 0
+    return watch(args.target, interval=args.interval, once=args.once,
+                 stall_after=args.stall_after)
+
+
+def _runs_registry(args: argparse.Namespace):
+    from repro.telemetry.registry import (
+        RunRegistry,
+        default_registry_dir,
+    )
+    directory = args.registry_dir or default_registry_dir()
+    if directory is None:
+        print("no registry configured: pass --registry-dir or set "
+              "REPRO_REGISTRY_DIR", file=sys.stderr)
+        return None
+    return RunRegistry(directory)
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.errors import ExperimentError
+    from repro.telemetry import registry as reg
+    registry = _runs_registry(args)
+    if registry is None:
+        return 2
+
+    if args.runs_command == "ingest":
+        total = 0
+        for target in args.paths:
+            try:
+                records = registry.ingest_path(target)
+            except ExperimentError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            for record in records:
+                print(f"  ingested {record.run_id} ({record.kind})")
+            total += len(records)
+        print(f"{total} record(s) ingested into {registry.directory}")
+        return 0
+
+    if args.runs_command == "list":
+        if args.bench:
+            # Bootstrap: fold the checked-in perf trajectory into the
+            # registry before listing, so BENCH_*.json history and
+            # live sweeps share one axis.
+            for path in sorted(Path(args.bench_dir).glob("BENCH_*.json")):
+                try:
+                    registry.ingest_bench(path)
+                except ExperimentError as exc:
+                    print(f"  skipping {path}: {exc}", file=sys.stderr)
+        records = registry.list(workload=args.workload,
+                                policy=args.policy_filter,
+                                fingerprint=args.fingerprint,
+                                since=args.since, kind=args.kind)
+        if args.json:
+            print(json.dumps([r.to_payload() for r in records],
+                             indent=2, sort_keys=True))
+        else:
+            print(reg.render_records(records))
+        return 0
+
+    if args.runs_command == "show":
+        try:
+            record = registry.get(args.run_id)
+        except ExperimentError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(record.to_payload(), indent=2,
+                             sort_keys=True))
+        else:
+            print(reg.render_record(record))
+        return 0
+
+    if args.runs_command == "compare":
+        try:
+            a = registry.get(args.a)
+            b = registry.get(args.b)
+        except ExperimentError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        diff = reg.compare_records(a, b)
+        if args.json:
+            print(json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(reg.render_compare(diff))
+        return 1 if diff["fingerprint_drift"] else 0
+
+    # gc
+    removed = registry.gc(keep=args.keep)
+    print(f"removed {removed} record(s), kept the newest {args.keep}")
     return 0
 
 
@@ -583,6 +715,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--metrics-json", default=None, metavar="FILE",
                        help="enable telemetry and dump the final "
                             "counter/histogram snapshot to FILE")
+    p_run.add_argument("--registry-dir", metavar="DIR",
+                       default=os.environ.get("REPRO_REGISTRY_DIR"),
+                       help="cross-run registry: every run manifest "
+                            "this run writes is also ingested here, "
+                            "queryable with 'repro runs' (default: "
+                            "$REPRO_REGISTRY_DIR)")
     p_run.set_defaults(func=_cmd_run)
 
     p_sim = sub.add_parser("simulate", help="one ad-hoc simulation")
@@ -675,7 +813,94 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--all", action="store_true",
                          help="with a directory, render every manifest "
                               "instead of only the newest")
+    p_stats.add_argument("--follow", action="store_true",
+                         help="with a directory, watch the live "
+                              "progress stream until the sweep "
+                              "finishes, then render its manifest")
+    p_stats.add_argument("--interval", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="--follow refresh interval")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_watch = sub.add_parser(
+        "watch", help="attach to a sweep's live progress stream "
+                      "(written next to its checkpoints / telemetry)")
+    p_watch.add_argument("target",
+                         help="a sweep directory (checkpoint or "
+                              "telemetry dir), or a progress.jsonl")
+    p_watch.add_argument("--json", action="store_true",
+                         help="print one machine-readable snapshot "
+                              "and exit")
+    p_watch.add_argument("--once", action="store_true",
+                         help="render one frame and exit")
+    p_watch.add_argument("--interval", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="refresh interval (default 1s)")
+    p_watch.add_argument("--stall-after", type=float, default=None,
+                         metavar="SECONDS",
+                         help="declare a silent stream stalled after "
+                              "this long (default: 5x the writer's "
+                              "heartbeat interval, at least 10s)")
+    p_watch.set_defaults(func=_cmd_watch)
+
+    p_runs = sub.add_parser(
+        "runs", help="query the cross-run registry (list/show/compare/"
+                     "gc ingested run records)")
+    p_runs.add_argument("--registry-dir", default=None, metavar="DIR",
+                        help="registry location (default: "
+                             "$REPRO_REGISTRY_DIR)")
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    p_rlist = runs_sub.add_parser("list", help="list ingested runs, "
+                                               "newest first")
+    p_rlist.add_argument("--workload", default=None,
+                         help="substring match on the workload id")
+    p_rlist.add_argument("--policy", dest="policy_filter", default=None,
+                         help="only runs that swept this policy")
+    p_rlist.add_argument("--fingerprint", default=None, metavar="PREFIX",
+                         help="only runs whose fingerprint digest "
+                              "starts with PREFIX")
+    p_rlist.add_argument("--since", default=None, metavar="DATE",
+                         help="only runs created on/after this ISO date")
+    p_rlist.add_argument("--kind", default=None,
+                         choices=("sweep", "bench"))
+    p_rlist.add_argument("--bench", action="store_true",
+                         help="first ingest the checked-in BENCH_*.json "
+                              "perf records (the repo's recorded perf "
+                              "trajectory) from --bench-dir")
+    p_rlist.add_argument("--bench-dir", default=".", metavar="DIR",
+                         help="where --bench looks for BENCH_*.json "
+                              "(default: current directory)")
+    p_rlist.add_argument("--json", action="store_true")
+    p_rlist.set_defaults(func=_cmd_runs)
+
+    p_rshow = runs_sub.add_parser("show", help="show one run record")
+    p_rshow.add_argument("run_id", help="full run id, or an "
+                                        "unambiguous prefix")
+    p_rshow.add_argument("--json", action="store_true")
+    p_rshow.set_defaults(func=_cmd_runs)
+
+    p_rcmp = runs_sub.add_parser(
+        "compare", help="diff two runs' energy/miss/timing summaries "
+                        "(exit 1 on fingerprint drift)")
+    p_rcmp.add_argument("a", help="baseline run id (or prefix)")
+    p_rcmp.add_argument("b", help="candidate run id (or prefix)")
+    p_rcmp.add_argument("--json", action="store_true")
+    p_rcmp.set_defaults(func=_cmd_runs)
+
+    p_rgc = runs_sub.add_parser(
+        "gc", help="drop all but the newest N run records")
+    p_rgc.add_argument("--keep", type=int, default=50, metavar="N",
+                       help="records to keep (default 50)")
+    p_rgc.set_defaults(func=_cmd_runs)
+
+    p_ring = runs_sub.add_parser(
+        "ingest", help="ingest manifests / BENCH_*.json records "
+                       "(files or directories)")
+    p_ring.add_argument("paths", nargs="+",
+                        help="manifest_*.json, BENCH_*.json, or "
+                             "directories to scan for both")
+    p_ring.set_defaults(func=_cmd_runs)
 
     p_doc = sub.add_parser("doctor",
                            help="report the execution backends this "

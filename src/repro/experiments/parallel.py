@@ -87,6 +87,7 @@ from repro.experiments.resilience import (
     unit_deadline,
 )
 from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import progress as _progress
 
 if TYPE_CHECKING:
     from repro.experiments.cache import PolicySummary, SuiteCache
@@ -431,6 +432,18 @@ def map_forked(calls: "list[Any]", workers: int) -> list[Any]:
         _CALLS = None
 
 
+def _pool_pids() -> list[int]:
+    """The parent pid plus every live pool worker pid — what a
+    progress-stream heartbeat liveness-probes while a sweep is
+    dispatching (:mod:`repro.telemetry.progress`)."""
+    pids = [os.getpid()]
+    pool = WorkerPool.current()
+    if pool is not None:
+        processes = getattr(pool.executor, "_processes", None) or {}
+        pids.extend(int(pid) for pid in processes.keys())
+    return pids
+
+
 def _kill_pool_workers(pool: "WorkerPool") -> int:
     """SIGKILL every live worker of *pool* — the watchdog's hammer.
 
@@ -505,6 +518,14 @@ def run_cells(
     """
     from repro.experiments.runner import SweepCell
 
+    # The sweep's live progress stream, when one is attached.  All
+    # per-unit events are emitted here in the *parent* (workers cannot
+    # write to the pid-pinned stream), which is what keeps the serial
+    # and parallel event sets equivalent.
+    stream = _progress.current()
+    if stream is not None:
+        stream.pid_provider = _pool_pids
+
     xs = dict(pending)
     suites: dict[int, dict[int, Any]] = {index: {} for index, _ in pending}
     quarantined: dict[int, dict[int, dict]] = {
@@ -543,6 +564,9 @@ def run_cells(
         if checkpointer is not None:
             checkpointer.store(index, cell)
         cells[index] = cell
+        if stream is not None:
+            stream.cell_done(index=index, x=float(xs[index]),
+                             quarantined=len(cell.quarantined))
 
     # Consult the cache before dispatch; positions number only the
     # units that actually need computing, in index-major seed order —
@@ -558,6 +582,10 @@ def run_cells(
                 summaries = cache.get(key)
             if summaries is not None:
                 suites[index][seed_pos] = summaries
+                if stream is not None:
+                    stream.unit_done(index=index, x=float(x),
+                                     seed_pos=seed_pos, seed=seed,
+                                     status="cached")
             else:
                 units.append((len(units), index, x, seed_pos, seed))
                 keys.append(key)
@@ -608,6 +636,12 @@ def run_cells(
                 quarantine_store.record(record)
             _TELEMETRY.inc("resilience.quarantined")
             quarantined[index][seed_pos] = record.to_payload()
+            if stream is not None:
+                stream.unit_done(index=index, x=float(x),
+                                 seed_pos=seed_pos, seed=seed,
+                                 status="quarantined",
+                                 error_type=record.error_type,
+                                 classification=record.classification)
         else:
             if best_err is not None and pos > best_err[0]:
                 # Beyond the failure point: a serial sweep would never
@@ -617,6 +651,10 @@ def run_cells(
             if cache is not None and keys[pos] is not None:
                 cache.put(keys[pos], summaries)
             suites[index][seed_pos] = summaries
+            if stream is not None:
+                stream.unit_done(index=index, x=float(x),
+                                 seed_pos=seed_pos, seed=seed,
+                                 status="computed")
         if cell_complete(index):
             fold(index)
 
@@ -661,14 +699,22 @@ def run_cells(
                 _TELEMETRY.inc("resilience.watchdog_kills")
                 _TELEMETRY.emit("resilience.watchdog_kill",
                                 killed=killed, budget=budget)
+                if stream is not None:
+                    stream.emit("resilience.watchdog_kill",
+                                killed=killed, budget=budget,
+                                mode=mode)
                 continue
             for future in done:
                 try:
                     outcomes, meta = future.result()
-                except BaseException:
+                except BaseException as exc:
                     # Worker death: the chunk's results are gone; its
                     # units stay unresolved for the next generation.
                     broke = True
+                    if stream is not None:
+                        stream.emit("resilience.worker_crash",
+                                    mode=mode,
+                                    error_type=type(exc).__name__)
                     continue
                 if meta is not None and _TELEMETRY.enabled:
                     merge_meta(meta)
@@ -732,9 +778,17 @@ def run_cells(
                     _TELEMETRY.inc("resilience.watchdog_kills")
                     _TELEMETRY.emit("resilience.watchdog_kill",
                                     killed=killed, budget=budget)
+                    if stream is not None:
+                        stream.emit("resilience.watchdog_kill",
+                                    killed=killed, budget=budget,
+                                    mode="solo")
                     crashed = True
-                except BaseException:
+                except BaseException as exc:
                     crashed = True
+                    if stream is not None:
+                        stream.emit("resilience.worker_crash",
+                                    mode="solo",
+                                    error_type=type(exc).__name__)
                 else:
                     crashed = False
                     if meta is not None and _TELEMETRY.enabled:
@@ -744,6 +798,10 @@ def run_cells(
                 if crashed:
                     pool.shutdown(cancel_futures=True)
                     _TELEMETRY.inc("resilience.pool_rebuilds")
+                    if stream is not None:
+                        stream.emit("resilience.pool_rebuild",
+                                    mode="solo",
+                                    unresolved=len(remaining))
                     crash_counts[pos] = crash_counts.get(pos, 0) + 1
                     if crash_counts[pos] > max_retries:
                         _, index, x, seed_pos, seed = units[pos]
@@ -797,6 +855,10 @@ def run_cells(
                             chunks=len(chunk_futures), units=len(todo),
                             workers=workers, mode=mode,
                             inline_units=sum(map(len, inline_plans)))
+        if stream is not None:
+            stream.emit("chunk.dispatch", chunks=len(chunk_futures),
+                        units=len(todo), workers=workers, mode=mode,
+                        inline_units=sum(map(len, inline_plans)))
         for positions in inline_plans:
             # _SPEC is published (the pool was just acquired), so the
             # worker entry point runs unchanged in the parent process;
@@ -825,7 +887,14 @@ def run_cells(
             _TELEMETRY.inc("resilience.pool_rebuilds")
             _TELEMETRY.emit("resilience.pool_rebuild", mode=mode,
                             unresolved=len(remaining))
-            mode = "isolated" if mode == "chunked" else "solo"
+            next_mode = "isolated" if mode == "chunked" else "solo"
+            if stream is not None:
+                stream.emit("resilience.pool_rebuild", mode=mode,
+                            unresolved=len(remaining))
+                stream.emit("resilience.escalation", from_mode=mode,
+                            to_mode=next_mode,
+                            unresolved=len(remaining))
+            mode = next_mode
 
     if best_err is not None:
         # Cancelling futures never stops already-running workers; the

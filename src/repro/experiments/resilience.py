@@ -56,6 +56,7 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.telemetry import TELEMETRY
+from repro.telemetry import progress as _progress
 
 #: Exception types a retry (with backoff) can genuinely cure: external
 #: conditions, not properties of the unit itself.  ``OSError`` covers
@@ -249,6 +250,11 @@ class QuarantineStore:
         TELEMETRY.emit("resilience.quarantine", index=cell.index,
                        x=cell.x, seed=cell.seed,
                        error=cell.error_type, path=str(path))
+        _progress.emit("resilience.quarantine", index=cell.index,
+                       x=cell.x, seed=cell.seed,
+                       error_type=cell.error_type,
+                       classification=cell.classification,
+                       path=str(path))
         return path
 
     def load_all(self) -> list[QuarantinedCell]:

@@ -69,6 +69,7 @@ from repro.sim.batch import (
 from repro.sim.engine import simulate
 from repro.sim.results import SimulationResult
 from repro.telemetry import TELEMETRY
+from repro.telemetry import progress as _progress
 from repro.telemetry.manifest import (
     RunManifest,
     git_revision,
@@ -469,6 +470,7 @@ def sweep(
     unit_timeout: float | None = None,
     on_failure: str | None = None,
     batch: str | None = None,
+    progress_dir: str | Path | None = None,
 ) -> list[SweepCell]:
     """The generic experiment sweep.
 
@@ -558,6 +560,15 @@ def sweep(
     run (seeds the batch engine cannot reproduce bitwise fall back to
     the scalar engine automatically, as does any error raised inside
     the batch engine itself).
+
+    *progress_dir* names where the live ``progress.jsonl`` event
+    stream (DESIGN.md §14, :mod:`repro.telemetry.progress`) is
+    written; when ``None`` it defaults to the telemetry manifest
+    directory (telemetry on) and else to *checkpoint_dir*, so every
+    checkpointed sweep is ``repro watch``-able with no extra flags.
+    With no directory at all the sweep runs unnarrated — the stream
+    never touches the compute path, so summaries, cells and
+    checkpoints are byte-identical with it on or off.
     """
     if not xs:
         raise ExperimentError("sweep needs at least one x value")
@@ -647,11 +658,28 @@ def sweep(
 
     shutdown = GracefulShutdown()
 
+    # Live progress narration (DESIGN.md §14): explicit directory, else
+    # the telemetry manifest dir, else the checkpoint dir.  No
+    # directory means no stream — and no overhead.
+    stream_dir = progress_dir
+    if stream_dir is None and TELEMETRY.enabled:
+        stream_dir = TELEMETRY.manifest_dir
+    if stream_dir is None:
+        stream_dir = checkpoint_dir
+    stream = None
+    if stream_dir is not None:
+        stream = _progress.open_stream(
+            stream_dir, cells=len(xs), seeds=n_tasksets,
+            workers=workers, workload_id=workload_id)
+
     def compute_unit(index: int, x: float, seed_pos: int,
                      seed: int) -> dict[str, PolicySummary]:
         """One (cell, seed) suite with classified in-place retries."""
         audit = (audit_every is not None
                  and (index * n_tasksets + seed_pos) % audit_every == 0)
+        if stream is not None:
+            stream.emit("unit.start", index=index, x=float(x),
+                        seed_pos=seed_pos, seed=seed)
         attempt = 0
         while True:
             try:
@@ -687,6 +715,11 @@ def sweep(
                 TELEMETRY.inc("sweep.retries")
                 TELEMETRY.emit("sweep.retry", index=index, x=float(x),
                                seed=seed, attempt=attempt)
+                if stream is not None:
+                    stream.emit("unit.retry", index=index, x=float(x),
+                                seed_pos=seed_pos, seed=seed,
+                                attempt=attempt,
+                                error_type=type(exc).__name__)
                 _time.sleep(retry_backoff * (2.0 ** attempt))
                 attempt += 1
 
@@ -730,6 +763,10 @@ def sweep(
                       if batch_decision.use else {})
         for seed_pos, seed in enumerate(seeds):
             summaries = cached[seed_pos]
+            # The batch engine is an execution strategy, not a cache:
+            # prefetched units count as computed in the progress stream
+            # — the same status the parallel path reports them under.
+            status = "cached" if summaries is not None else "computed"
             if summaries is None and seed_pos in prefetched:
                 summaries = prefetched[seed_pos]
                 if cache is not None:
@@ -750,10 +787,23 @@ def sweep(
                         quarantine_store.record(record)
                     TELEMETRY.inc("resilience.quarantined")
                     cell.quarantined.append(record.to_payload())
+                    if stream is not None:
+                        stream.unit_done(
+                            index=index, x=float(x), seed_pos=seed_pos,
+                            seed=seed, status="quarantined",
+                            error_type=record.error_type,
+                            classification=record.classification)
                     continue
                 if cache is not None:
                     cache.put(keys[seed_pos], summaries)
+            if stream is not None:
+                stream.unit_done(index=index, x=float(x),
+                                 seed_pos=seed_pos, seed=seed,
+                                 status=status)
             cell.record_summaries(summaries)
+        if stream is not None:
+            stream.cell_done(index=index, x=float(x),
+                             quarantined=len(cell.quarantined))
         return cell
 
     def execute() -> list[SweepCell]:
@@ -771,6 +821,9 @@ def sweep(
                                   if checkpointer is not None else None)
                         if cached is not None:
                             TELEMETRY.inc("sweep.cells_resumed")
+                            if stream is not None:
+                                stream.cell_resumed(index=index,
+                                                    x=float(x))
                             by_index[index] = cached
                         else:
                             pending.append((index, float(x)))
@@ -816,6 +869,8 @@ def sweep(
                 cached = checkpointer.load(index, float(x))
                 if cached is not None:
                     TELEMETRY.inc("sweep.cells_resumed")
+                    if stream is not None:
+                        stream.cell_resumed(index=index, x=float(x))
                     cells.append(cached)
                     continue
             cell = compute_cell(index, float(x))
@@ -824,9 +879,37 @@ def sweep(
             cells.append(cell)
         return cells
 
+    # Attach the stream as the process-current one so the parallel
+    # executor and the resilience layer can emit without it being
+    # threaded through their signatures.  Restored on every exit path.
+    prev_stream = _progress.attach(stream)
+
+    def finish_stream(status: str = "completed",
+                      error: BaseException | None = None) -> None:
+        if stream is not None:
+            if (status == "interrupted"
+                    and shutdown.signal_number is not None):
+                # The drain fact itself, emitted from normal (not
+                # signal-handler) context so it can take the stream
+                # lock safely.
+                stream.emit("resilience.drain",
+                            signal=shutdown.signal_number)
+            stream.close(status=status, error=error)
+
     if not TELEMETRY.enabled:
-        with shutdown:
-            return execute()
+        try:
+            with shutdown:
+                cells = execute()
+        except SweepInterrupted as exc:
+            finish_stream("interrupted", exc)
+            raise
+        except BaseException as exc:
+            finish_stream("failed", exc)
+            raise
+        finally:
+            _progress.attach(prev_stream)
+        finish_stream()
+        return cells
 
     # Telemetry is on: cut this sweep's metrics as a delta against the
     # registry (other sweeps in the same process keep their counts),
@@ -859,17 +942,28 @@ def sweep(
             checkpoint_dir=checkpoint_dir,
             workload_id=workload_id,
             unit_timeout=unit_timeout,
-            on_failure=on_failure)
+            on_failure=on_failure,
+            progress=(stream.summary() if stream is not None else None))
 
     try:
         with shutdown, TELEMETRY.span("sweep.compute"):
             cells = execute()
-    except SweepInterrupted:
-        # The drain already checkpointed everything complete; flush
-        # the manifest too, so the interrupted run leaves a full
-        # telemetry record before the interrupt propagates.
+    except SweepInterrupted as exc:
+        # The drain already checkpointed everything complete; close
+        # the stream and flush the manifest too, so the interrupted
+        # run leaves a full record before the interrupt propagates.
+        finish_stream("interrupted", exc)
         write_manifest()
         raise
+    except BaseException as exc:
+        finish_stream("failed", exc)
+        raise
+    finally:
+        _progress.attach(prev_stream)
+    # Close before the manifest is cut, so the manifest's ``progress``
+    # block repeats exactly the terminal ``sweep.done`` summary — the
+    # equality scripts/progress_gate.py enforces.
+    finish_stream()
     write_manifest()
     return cells
 
@@ -885,6 +979,7 @@ def _write_sweep_manifest(
     workload_id: str | None,
     unit_timeout: float | None = None,
     on_failure: str = "raise",
+    progress: dict | None = None,
 ) -> Path | None:
     """Write one run manifest for a completed sweep (telemetry on).
 
@@ -938,6 +1033,7 @@ def _write_sweep_manifest(
             "runs": counters.get("audit.runs", 0),
             "violations": counters.get("audit.violations", 0),
         }),
+        progress=progress,
         git_rev=git_revision(),
     )
     path = manifest.write(next_manifest_path(directory, label))

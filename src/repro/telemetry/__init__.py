@@ -22,6 +22,13 @@ from repro.telemetry.manifest import (
     next_manifest_path,
     render_manifest,
 )
+from repro.telemetry.progress import (
+    PROGRESS_FILENAME,
+    PROGRESS_SCHEMA,
+    ProgressSnapshot,
+    ProgressStream,
+    read_progress,
+)
 
 __all__ = [
     "DEFAULT_BOUNDS",
@@ -35,4 +42,9 @@ __all__ = [
     "git_revision",
     "next_manifest_path",
     "render_manifest",
+    "PROGRESS_FILENAME",
+    "PROGRESS_SCHEMA",
+    "ProgressSnapshot",
+    "ProgressStream",
+    "read_progress",
 ]

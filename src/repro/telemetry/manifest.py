@@ -36,7 +36,12 @@ from repro.errors import ExperimentError
 #:    policy, pool rebuilds, watchdog kills, unit timeouts,
 #:    quarantined units, self-healed cache shards, degraded writes,
 #:    drain requests).
-MANIFEST_SCHEMA = 3
+#: 4: added the ``progress`` block — the live progress stream's
+#:    terminal summary (units/computed/cached/resumed/quarantined/
+#:    cells, DESIGN.md §14), equal by construction to the stream's
+#:    ``sweep.done`` event; completed manifests are also offered to
+#:    the cross-run registry (:mod:`repro.telemetry.registry`).
+MANIFEST_SCHEMA = 4
 
 
 def git_revision(repo_dir: str | Path | None = None) -> str:
@@ -64,6 +69,7 @@ class RunManifest:
     faults: dict | None = None
     audit: dict | None = None
     resilience: dict | None = None
+    progress: dict | None = None
     code_epoch: str = ""
     git_rev: str = ""
     created: str = ""
@@ -119,16 +125,30 @@ class RunManifest:
             "faults": self.faults,
             "audit": self.audit,
             "resilience": self.resilience,
+            "progress": self.progress,
         }
 
     def write(self, path: str | Path) -> Path:
-        """Atomic write (temp + rename), like every sweep artifact."""
+        """Atomic write (temp + rename), like every sweep artifact.
+
+        A written manifest is also offered to the cross-run registry
+        (``repro runs``) when one is configured — via ``repro run
+        --registry-dir`` or ``REPRO_REGISTRY_DIR`` — so every
+        completed sweep becomes queryable without a separate ingest
+        step.  The hook is best-effort: registry trouble never fails
+        the manifest write.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp")
         tmp.write_text(json.dumps(self.to_payload(), indent=2,
                                   sort_keys=True) + "\n")
         tmp.replace(path)
+        try:
+            from repro.telemetry import registry as _registry
+            _registry.ingest_written_manifest(self, path)
+        except Exception:
+            pass
         return path
 
     @classmethod
@@ -153,6 +173,7 @@ class RunManifest:
             faults=payload.get("faults"),
             audit=payload.get("audit"),
             resilience=payload.get("resilience"),
+            progress=payload.get("progress"),
             code_epoch=str(payload.get("code_epoch", "")),
             git_rev=str(payload.get("git_rev", "")),
             created=str(payload.get("created", "")),
@@ -256,6 +277,17 @@ def render_manifest(manifest: RunManifest) -> str:
             value = manifest.resilience[key]
             lines.append(f"    {key:<18} "
                          f"{_fmt(value) if value is not None else '-'}")
+    if manifest.progress:
+        p = manifest.progress
+        lines.append(
+            f"  progress: {p.get('done', 0)}/{p.get('units', 0)} units "
+            f"(computed={p.get('computed', 0)} "
+            f"cached={p.get('cached', 0)} "
+            f"resumed={p.get('resumed', 0)} "
+            f"quarantined={p.get('quarantined', 0)})  "
+            f"cells {p.get('cells_done', 0)}/{p.get('cells', 0)}")
+        if p.get("stream"):
+            lines.append(f"    stream {p['stream']}")
     if manifest.counters:
         lines.append("  counters:")
         for name in sorted(manifest.counters):
