@@ -563,6 +563,15 @@ def main(argv: list[str] | None = None) -> int:
     record = build_record(skip_sweep=args.skip_sweep or bool(args.check))
 
     if args.check:
+        # Every guard runs and every failure is reported before the
+        # verdict: a single CI pass shows the full damage instead of
+        # stopping at the first broken guard and hiding the rest.
+        failures: list[str] = []
+
+        def fail(message: str) -> None:
+            failures.append(message)
+            print(f"FAIL: {message}", file=sys.stderr)
+
         baseline_path = _resolve_baseline(args.check)
         baseline = json.loads(baseline_path.read_text())
         print(f"baseline: {baseline_path.name}"
@@ -575,21 +584,19 @@ def main(argv: list[str] | None = None) -> int:
               f"current {now * 1e3:.2f}ms "
               f"({slowdown:+.1%} vs allowed +{args.max_regression:.0%})")
         if slowdown > args.max_regression:
-            print("FAIL: engine hot path regressed beyond the guard",
-                  file=sys.stderr)
-            return 1
-        print("OK: engine hot path within the regression guard")
+            fail("engine hot path regressed beyond the guard")
+        else:
+            print("OK: engine hot path within the regression guard")
         compiled = record["hotpath"].get("engine_step_compiled")
         if compiled is not None:
             ratio = now / compiled["mean_s"]
             if ratio < args.min_compiled_speedup:
-                print(f"FAIL: compiled core speedup {ratio:.2f}x < "
-                      f"{args.min_compiled_speedup:.2f}x "
-                      f"(engine_step / engine_step_compiled)",
-                      file=sys.stderr)
-                return 1
-            print(f"OK: compiled core speedup {ratio:.2f}x "
-                  f"(>= {args.min_compiled_speedup:.2f}x)")
+                fail(f"compiled core speedup {ratio:.2f}x < "
+                     f"{args.min_compiled_speedup:.2f}x "
+                     f"(engine_step / engine_step_compiled)")
+            else:
+                print(f"OK: compiled core speedup {ratio:.2f}x "
+                      f"(>= {args.min_compiled_speedup:.2f}x)")
         else:
             print("SKIP: compiled core speedup — extension not built "
                   "on this host")
@@ -597,10 +604,8 @@ def main(argv: list[str] | None = None) -> int:
             record["sweep_exp1_mini"] = run_sweep_timings()
             speedup = record["sweep_exp1_mini"].get("parallel_speedup")
             if warn_if_parallel_regressed(record, args.min_speedup):
-                print("FAIL: parallel sweep regressed below the guard",
-                      file=sys.stderr)
-                return 1
-            if speedup is not None:
+                fail("parallel sweep regressed below the guard")
+            elif speedup is not None:
                 print(f"OK: sweep_exp1_mini.parallel_speedup = "
                       f"{speedup:.2f}x (>= {args.min_speedup:.2f}x)")
             cold = record["sweep_exp1_mini"].get("parallel_speedup_cold")
@@ -608,43 +613,47 @@ def main(argv: list[str] | None = None) -> int:
                     and (baseline.get("sweep_exp1_mini") or {}).get(
                         "parallel_speedup_cold")):
                 if cold < args.min_cold_speedup:
-                    print(f"FAIL: sweep_exp1_mini.parallel_speedup_cold "
-                          f"= {cold:.2f}x < {args.min_cold_speedup:.2f}x "
-                          f"— a cold pool is losing to the serial loop",
-                          file=sys.stderr)
-                    return 1
-                print(f"OK: sweep_exp1_mini.parallel_speedup_cold = "
-                      f"{cold:.2f}x (>= {args.min_cold_speedup:.2f}x)")
+                    fail(f"sweep_exp1_mini.parallel_speedup_cold "
+                         f"= {cold:.2f}x < {args.min_cold_speedup:.2f}x "
+                         f"— a cold pool is losing to the serial loop")
+                else:
+                    print(f"OK: sweep_exp1_mini.parallel_speedup_cold = "
+                          f"{cold:.2f}x (>= {args.min_cold_speedup:.2f}x)")
         diff = run_batch_differential()
         if diff is not None:
             if diff.get("skipped"):
                 print(f"SKIP: batch differential — {diff['skipped']}")
             elif diff["mismatches"]:
-                print(f"FAIL: batch engine diverged from the scalar "
-                      f"engine on {diff['mismatches']} summaries "
-                      f"(of {diff['units']} units)", file=sys.stderr)
-                return 1
+                fail(f"batch engine diverged from the scalar "
+                     f"engine on {diff['mismatches']} summaries "
+                     f"(of {diff['units']} units)")
             elif diff["fallbacks"] >= diff["units"]:
-                print("FAIL: batch engine fell back to scalar on every "
-                      "unit of a batch-eligible cell", file=sys.stderr)
-                return 1
+                fail("batch engine fell back to scalar on every "
+                     "unit of a batch-eligible cell")
             else:
                 print(f"OK: batch differential — {diff['units']} units, "
                       f"{diff['fallbacks']} scalar fallback(s), "
                       f"summaries bitwise equal")
         probe = run_telemetry_probe()
         if probe is not None:
+            probe_ok = True
             if not probe.get("manifest_written"):
-                print("FAIL: instrumented mini sweep wrote no run "
-                      "manifest", file=sys.stderr)
-                return 1
+                fail("instrumented mini sweep wrote no run manifest")
+                probe_ok = False
             if not probe.get("manifest_consistent"):
-                print("FAIL: run manifest cache section disagrees with "
-                      "the telemetry counters", file=sys.stderr)
-                return 1
-            steps = probe["counters"].get("engine.steps", 0)
-            print(f"OK: telemetry probe — manifest written and "
-                  f"consistent ({steps} engine steps counted)")
+                fail("run manifest cache section disagrees with "
+                     "the telemetry counters")
+                probe_ok = False
+            if probe_ok:
+                steps = probe["counters"].get("engine.steps", 0)
+                print(f"OK: telemetry probe — manifest written and "
+                      f"consistent ({steps} engine steps counted)")
+        if failures:
+            print(f"{len(failures)} guard(s) failed:", file=sys.stderr)
+            for message in failures:
+                print(f"  - {message}", file=sys.stderr)
+            return 1
+        print("all perf guards passed")
         return 0
 
     if args.out:

@@ -63,6 +63,15 @@ PYTHONPATH=src python scripts/chaos_gate.py
 PYTHONPATH=src python -m pytest -x -q -m watch
 PYTHONPATH=src python scripts/progress_gate.py
 
+# Profiling contract (DESIGN.md §15): the profile subset, then one
+# EXP-F1 mini-cell whose cells must stay byte-identical with phase
+# timers on or off, whose budget categories must sum exactly to the
+# attributed wall, and whose engine_step anchor must pay nothing
+# measurable when profiling is off and stay under the declared
+# OVERHEAD_BUDGET when it is on.
+PYTHONPATH=src python -m pytest -x -q -m profile
+PYTHONPATH=src python scripts/profile_gate.py
+
 # Perf guard: bench_record.py resolves the newest BENCH_*.json itself
 # (by the date in the filename, not directory order) and names the
 # baseline it compared against.

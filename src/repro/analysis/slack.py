@@ -60,6 +60,7 @@ from repro.analysis.demand import (
     future_demand_linear_bound,
 )
 from repro.errors import ConfigurationError
+from repro.profiling import PROFILER as _PROFILER
 from repro.tasks.task import PeriodicTask
 from repro.types import Time, Work
 
@@ -260,6 +261,19 @@ def exact_slack(state: SystemState, *,
     everything, so it must pass ``earliest_candidate=state.time`` to
     constrain against every future deadline.
     """
+    prof = _PROFILER
+    if not prof.enabled:
+        return _exact_slack(state, window_cap_periods, earliest_candidate)
+    prof.push("slack.exact")
+    try:
+        return _exact_slack(state, window_cap_periods, earliest_candidate)
+    finally:
+        prof.pop()
+
+
+def _exact_slack(state: SystemState,
+                 window_cap_periods: float | None,
+                 earliest_candidate: Time | None) -> Time:
     if not state.active:
         raise ConfigurationError("slack analysis requires an active job")
     t = state.time
@@ -325,6 +339,17 @@ def heuristic_slack(state: SystemState) -> Time:
     lands), restricted to ``>= d_J``; demand uses the linear
     over-approximation throughout.  Always ``<= exact_slack(state)``.
     """
+    prof = _PROFILER
+    if not prof.enabled:
+        return _heuristic_slack(state)
+    prof.push("slack.heuristic")
+    try:
+        return _heuristic_slack(state)
+    finally:
+        prof.pop()
+
+
+def _heuristic_slack(state: SystemState) -> Time:
     if not state.active:
         raise ConfigurationError("slack analysis requires an active job")
     t = state.time

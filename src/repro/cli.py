@@ -39,8 +39,16 @@ Commands
 ``doctor``
     Report the execution backends this install will actually use:
     numpy, the vectorized batch engine's eligible policies, the
-    compiled engine core (DESIGN.md §13) and the parallel executor's
-    default worker count.
+    compiled engine core (DESIGN.md §13), the parallel executor's
+    default worker count, and the profiling layer's availability and
+    measured per-region overhead.
+``profile``
+    The phase profiler (DESIGN.md §15): ``run`` an instrumented EXP-F1
+    mini sweep and print its time budget (writing the manifest with a
+    ``profile`` block, a collapsed-stack flamegraph input, and a
+    Perfetto-loadable phase trace), ``report`` a manifest's budget,
+    ``flame`` a collapsed-stack file as a terminal flame tree,
+    ``diff`` two manifests' attribution.
 """
 
 from __future__ import annotations
@@ -166,6 +174,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # auto-ingest into this registry (repro runs list).
         from repro.telemetry.registry import set_registry_dir
         set_registry_dir(args.registry_dir)
+    if args.profile:
+        from repro.profiling import PROFILER
+        PROFILER.configure(enabled=True)
     for name in names:
         started = time.time()
         if name in TABLES:
@@ -359,6 +370,146 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     fork = "fork available" if fork_available() else \
         "no fork: sweeps run inline"
     print(f"parallel:       default workers: {workers} ({fork})")
+
+    from repro.profiling import OVERHEAD_BUDGET, PROFILER, PhaseProfiler
+    probe = PhaseProfiler()
+    probe.enabled = True
+    t0 = time.perf_counter_ns()
+    for _ in range(10_000):
+        probe.push("doctor.probe")
+        probe.pop()
+    per_region_ns = (time.perf_counter_ns() - t0) / 10_000
+    state = "enabled" if PROFILER.enabled else "off by default"
+    print(f"profiling:      phase timers available ({state}; "
+          f"~{per_region_ns:.0f}ns per region when on, "
+          f"budget {OVERHEAD_BUDGET:g}x)")
+    sampler = ("sys._current_frames available"
+               if hasattr(sys, "_current_frames")
+               else "sys._current_frames MISSING - sampling disabled")
+    print(f"                sampling backend: {sampler}")
+    return 0
+
+
+def _resolve_manifest_path(target: str) -> Path | None:
+    """A manifest path from a file or a directory (newest manifest)."""
+    path = Path(target)
+    if path.is_dir():
+        candidates = sorted(path.glob("manifest_*.json"))
+        if not candidates:
+            print(f"no manifest_*.json in {path}", file=sys.stderr)
+            return None
+        return candidates[-1]
+    return path
+
+
+def _load_profile_block(target: str) -> dict | None:
+    from repro.telemetry.manifest import RunManifest
+    path = _resolve_manifest_path(target)
+    if path is None:
+        return None
+    manifest = RunManifest.load(path)
+    if not manifest.profile:
+        print(f"{path} has no profile block (was the sweep run with "
+              f"profiling enabled? try: repro profile run)",
+              file=sys.stderr)
+        return None
+    return manifest.profile
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.profiling import report as prep
+
+    if args.profile_cmd == "report":
+        block = _load_profile_block(args.manifest)
+        if block is None:
+            return 2
+        print(prep.render_budget(block))
+        return 0
+
+    if args.profile_cmd == "flame":
+        try:
+            samples = prep.read_collapsed(args.folded)
+        except OSError as exc:
+            print(f"cannot read {args.folded}: {exc}", file=sys.stderr)
+            return 2
+        print(prep.render_flame(samples, min_share=args.min_share))
+        return 0
+
+    if args.profile_cmd == "diff":
+        block_a = _load_profile_block(args.a)
+        block_b = _load_profile_block(args.b)
+        if block_a is None or block_b is None:
+            return 2
+        print(prep.render_budget_diff(prep.diff_budgets(block_a,
+                                                        block_b)))
+        return 0
+
+    # profile run: an instrumented EXP-F1 mini sweep.
+    from repro.experiments.parallel import shutdown_pool
+    from repro.experiments.runner import (bcwc_model, standard_taskset,
+                                          sweep)
+    from repro.profiling import PROFILER
+    from repro.telemetry import TELEMETRY
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    try:
+        for name in policies:
+            if name != "none":
+                make_policy(name)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    n = max(1, args.cells)
+    xs = ([0.5] if n == 1
+          else [0.3 + i * (0.8 - 0.3) / (n - 1) for i in range(n)])
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    if args.registry_dir:
+        from repro.telemetry.registry import set_registry_dir
+        set_registry_dir(args.registry_dir)
+
+    def workload(u: float, seed: int):
+        return (standard_taskset(args.tasks, u, seed),
+                bcwc_model(args.bcwc, seed))
+
+    TELEMETRY.configure(enabled=True, manifest_dir=out)
+    PROFILER.configure(enabled=True, timeline=True,
+                       sample=not args.no_sample,
+                       sample_interval_s=args.sample_interval)
+    before = PROFILER.snapshot()
+    started = time.perf_counter()
+    try:
+        cells = sweep(xs, workload, policies, n_tasksets=args.seeds,
+                      horizon=args.horizon, workers=args.workers,
+                      workload_id=args.label)
+    finally:
+        if args.workers > 1:
+            shutdown_pool()
+    wall = time.perf_counter() - started
+    delta = PROFILER.delta_since(before)
+    block = prep.profile_block(
+        delta, timeline_dropped=PROFILER.timeline_dropped)
+    trace = prep.export_chrome_profile(
+        PROFILER.timeline_events(), out / "profile_trace.json",
+        origin_ns=PROFILER.origin_ns)
+    folded = None
+    if delta["samples"]:
+        folded = prep.write_collapsed(delta["samples"],
+                                      out / "profile.folded")
+    PROFILER.configure(enabled=False)
+
+    print(prep.render_budget(block, measured_wall_s=wall))
+    print(f"cells: {len(cells)}  "
+          f"units: {len(xs) * args.seeds}  workers: {args.workers}")
+    print(f"manifest dir:     {out} (profile block in the newest "
+          f"manifest; render with: repro profile report {out})")
+    print(f"chrome trace:     {trace}")
+    if folded is not None:
+        print(f"flamegraph input: {folded} (render with: repro "
+              f"profile flame {folded})")
+    else:
+        print("flamegraph input: no samples collected "
+              "(sweep too short, or --no-sample)")
     return 0
 
 
@@ -721,6 +872,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "this run writes is also ingested here, "
                             "queryable with 'repro runs' (default: "
                             "$REPRO_REGISTRY_DIR)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="enable the phase profiler: every run "
+                            "manifest this run writes carries a "
+                            "'profile' time-budget block (results "
+                            "stay byte-identical; DESIGN.md §15)")
     p_run.set_defaults(func=_cmd_run)
 
     p_sim = sub.add_parser("simulate", help="one ad-hoc simulation")
@@ -902,10 +1058,82 @@ def build_parser() -> argparse.ArgumentParser:
                              "directories to scan for both")
     p_ring.set_defaults(func=_cmd_runs)
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="phase profiling: where a sweep's wall time goes "
+             "(time budget, flamegraph, attribution diff)")
+    prof_sub = p_prof.add_subparsers(dest="profile_cmd", required=True)
+    p_prun = prof_sub.add_parser(
+        "run",
+        help="run an instrumented EXP-F1 mini sweep: prints the time "
+             "budget, writes a manifest with a profile block, a "
+             "collapsed-stack flamegraph input and a Perfetto-loadable "
+             "phase trace")
+    p_prun.add_argument("--out", default="profile_out", metavar="DIR",
+                        help="output directory (manifest, "
+                             "profile.folded, profile_trace.json)")
+    p_prun.add_argument("--cells", type=int, default=2,
+                        help="utilization cells, spread over "
+                             "[0.3, 0.8] (default 2)")
+    p_prun.add_argument("--seeds", type=int, default=3,
+                        help="task sets per cell (default 3)")
+    p_prun.add_argument("--tasks", type=int, default=6,
+                        help="tasks per generated set (default 6)")
+    p_prun.add_argument("--bcwc", type=float, default=0.5,
+                        help="bc/wc execution ratio (default 0.5)")
+    p_prun.add_argument("--policies", default="none,static,lpSTA",
+                        metavar="LIST",
+                        help="comma-separated policies "
+                             "(default none,static,lpSTA)")
+    p_prun.add_argument("--horizon", type=float, default=2000.0,
+                        help="simulation horizon; long enough that the "
+                             "stack sampler lands a useful number of "
+                             "samples (default 2000)")
+    p_prun.add_argument("--workers", type=int, default=1,
+                        help="parallel workers; >1 exercises the "
+                             "fork-safe profile fold (default 1)")
+    p_prun.add_argument("--label", default="profile",
+                        help="workload id / manifest label")
+    p_prun.add_argument("--no-sample", action="store_true",
+                        help="phase timers only: skip the stack "
+                             "sampler (no flamegraph output)")
+    p_prun.add_argument("--sample-interval", type=float, default=0.001,
+                        dest="sample_interval", metavar="S",
+                        help="stack sampling period in seconds "
+                             "(default 0.001)")
+    p_prun.add_argument("--registry-dir", metavar="DIR",
+                        default=os.environ.get("REPRO_REGISTRY_DIR"),
+                        help="also ingest the manifest into this "
+                             "cross-run registry, so 'repro runs "
+                             "compare' shows attribution deltas")
+    p_prun.set_defaults(func=_cmd_profile)
+    p_prep = prof_sub.add_parser(
+        "report", help="render the profile block of a run manifest")
+    p_prep.add_argument("manifest",
+                        help="manifest file, or a directory holding "
+                             "manifest_*.json (newest wins)")
+    p_prep.set_defaults(func=_cmd_profile)
+    p_pflame = prof_sub.add_parser(
+        "flame", help="render a collapsed-stack file (profile.folded) "
+                      "as a terminal flame tree")
+    p_pflame.add_argument("folded", help="collapsed-stack file")
+    p_pflame.add_argument("--min-share", type=float, default=0.01,
+                          dest="min_share", metavar="FRAC",
+                          help="hide frames below this sample share "
+                               "(default 0.01)")
+    p_pflame.set_defaults(func=_cmd_profile)
+    p_pdiff = prof_sub.add_parser(
+        "diff", help="attribution deltas between two profiled "
+                     "manifests")
+    p_pdiff.add_argument("a", help="baseline manifest file or dir")
+    p_pdiff.add_argument("b", help="comparison manifest file or dir")
+    p_pdiff.set_defaults(func=_cmd_profile)
+
     p_doc = sub.add_parser("doctor",
                            help="report the execution backends this "
                                 "install will use (numpy, batch "
-                                "engine, compiled core, workers)")
+                                "engine, compiled core, workers, "
+                                "profiling)")
     p_doc.set_defaults(func=_cmd_doctor)
     return parser
 

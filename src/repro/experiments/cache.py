@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.experiments import chaos as _chaos
+from repro.profiling import PROFILER as _PROFILER
 from repro.telemetry import TELEMETRY as _TELEMETRY
 
 if TYPE_CHECKING:
@@ -166,6 +167,16 @@ class SuiteCache:
 
     def get(self, digest: str) -> dict[str, PolicySummary] | None:
         """The cached suite summaries for *digest*, or ``None``."""
+        prof = _PROFILER
+        if not prof.enabled:
+            return self._get(digest)
+        prof.push("cache.lookup")
+        try:
+            return self._get(digest)
+        finally:
+            prof.pop()
+
+    def _get(self, digest: str) -> dict[str, PolicySummary] | None:
         path = self._path(digest)
         try:
             text = path.read_text()
@@ -218,6 +229,18 @@ class SuiteCache:
         count — instead of killing the sweep: a cache is an
         accelerator, never a correctness dependency.
         """
+        prof = _PROFILER
+        if not prof.enabled:
+            return self._put(digest, summaries, key_payload)
+        prof.push("cache.write")
+        try:
+            return self._put(digest, summaries, key_payload)
+        finally:
+            prof.pop()
+
+    def _put(self, digest: str,
+             summaries: Mapping[str, PolicySummary],
+             key_payload: Mapping | None = None) -> None:
         if self.read_only:
             return
         path = self._path(digest)

@@ -86,6 +86,7 @@ from repro.experiments.resilience import (
     retry_budget,
     unit_deadline,
 )
+from repro.profiling import PROFILER as _PROFILER
 from repro.telemetry import TELEMETRY as _TELEMETRY
 from repro.telemetry import progress as _progress
 
@@ -258,20 +259,25 @@ def _suite_summaries(spec: dict[str, Any], x: float, seed: int,
                 # Inside the deadline, so an injected hang is
                 # interruptible exactly like a real one.
                 _chaos.on_unit_start(float(x), seed)
-                taskset, model = spec["make_workload"](x, seed)
+                if _PROFILER.enabled:
+                    with _PROFILER.phase("unit.workload"):
+                        taskset, model = spec["make_workload"](x, seed)
+                else:
+                    taskset, model = spec["make_workload"](x, seed)
                 processor = (processor_factory(x) if processor_factory
                              else ideal_processor())
-                suite = run_suite(
-                    taskset, spec["policy_names"], processor, model,
-                    horizon=spec["horizon"],
-                    overhead_aware=spec["overhead_aware"],
-                    allow_misses=spec["allow_misses"],
-                    policy_factory=(policy_factory(x)
-                                    if policy_factory else None),
-                    faults=(faults_factory(x, seed)
-                            if faults_factory else None),
-                    workload_seed=seed,
-                    audit=audit)
+                with _PROFILER.sample_unit():
+                    suite = run_suite(
+                        taskset, spec["policy_names"], processor, model,
+                        horizon=spec["horizon"],
+                        overhead_aware=spec["overhead_aware"],
+                        allow_misses=spec["allow_misses"],
+                        policy_factory=(policy_factory(x)
+                                        if policy_factory else None),
+                        faults=(faults_factory(x, seed)
+                                if faults_factory else None),
+                        workload_seed=seed,
+                        audit=audit)
             return suite.policy_summaries()
         except Exception as exc:
             if isinstance(exc, UnitTimeoutError):
@@ -340,18 +346,29 @@ def _run_chunk(
     still fails after its in-worker retries is reported as a *value*
     (so the parent can pick the lowest-ordered failure across all
     chunks) and ends the chunk, as a serial sweep would not have run
-    anything after its first failure either — plus, when telemetry is
-    enabled (workers inherit the parent's registry state at fork
-    time), a meta dict carrying the worker pid, the chunk's wall
-    time, and the worker's telemetry *delta* for this chunk, which
-    the parent merges in its fold loop so parallel counts equal
-    serial counts.
+    anything after its first failure either — plus, when telemetry or
+    profiling is enabled (workers inherit the parent's registry state
+    at fork time), a meta dict carrying the worker pid, the chunk's
+    wall time, and the worker's telemetry/profile *deltas* for this
+    chunk, which the parent merges in its fold loop so parallel
+    counts and phase attributions equal serial ones.
     """
     spec = _SPEC
     if spec is None:  # pragma: no cover - guards misuse, not a code path
         raise RuntimeError("worker forked before the sweep spec was set")
     tele = _TELEMETRY
     before = tele.snapshot() if tele.enabled else None
+    prof = _PROFILER
+    prof_before = None
+    if prof.enabled:
+        # The chunk envelope is this worker's root frame: everything
+        # the worker does nests inside it, and its *self* time (spec
+        # lookup, prefetch plumbing, outcome packing) is the chunk's
+        # IPC overhead.  For an inline chunk (run in the parent) the
+        # frame nests under the parent's ``sweep.execute`` instead and
+        # the delta below is skipped by ``merge_meta(inline=True)``.
+        prof_before = prof.snapshot()
+        prof.push("worker.chunk")
     started = _time.perf_counter()
     t0 = _time.time()
     audit_every = spec.get("audit_every")
@@ -377,16 +394,21 @@ def _run_chunk(
                 continue
             break
         outcomes.append((pos, summaries, None))
+    if prof.enabled:
+        prof.pop()
     meta = None
-    if tele.enabled:
+    if tele.enabled or prof.enabled:
         meta = {
             "pid": os.getpid(),
             "units": len(outcomes),
             "wall_s": _time.perf_counter() - started,
             "t0": t0,
             "t1": _time.time(),
-            "telemetry": tele.delta_since(before),
         }
+        if tele.enabled:
+            meta["telemetry"] = tele.delta_since(before)
+        if prof.enabled:
+            meta["profile"] = prof.delta_since(prof_before)
     return outcomes, meta
 
 
@@ -659,14 +681,19 @@ def run_cells(
             fold(index)
 
     def merge_meta(meta: dict, *, inline: bool = False) -> None:
-        # Fold the worker's chunk delta into the parent registry the
+        # Fold the worker's chunk deltas into the parent registries the
         # moment the chunk lands — the telemetry sibling of the
         # in-seed-order cell folding.  An *inline* chunk ran in the
-        # parent process, so its counters already landed in the parent
-        # registry directly; merging its delta again would double
-        # count — only the chunk bookkeeping folds.
+        # parent process, so its counters and phase frames already
+        # landed in the parent registries directly; merging its deltas
+        # again would double count — only the chunk bookkeeping folds.
         if not inline:
-            _TELEMETRY.merge_snapshot(meta["telemetry"])
+            if _PROFILER.enabled and "profile" in meta:
+                _PROFILER.merge_snapshot(meta["profile"])
+            if _TELEMETRY.enabled and "telemetry" in meta:
+                _TELEMETRY.merge_snapshot(meta["telemetry"])
+        if not _TELEMETRY.enabled:
+            return
         _TELEMETRY.record_worker(meta["pid"], chunks=1,
                                  units=meta["units"],
                                  busy_s=meta["wall_s"])
@@ -687,8 +714,20 @@ def run_cells(
         broke = False
         not_done = set(chunk_futures)
         while not_done:
-            done, not_done = wait(not_done, timeout=budget,
-                                  return_when=FIRST_COMPLETED)
+            if _PROFILER.enabled:
+                # Parent-side blocking on worker results is the
+                # sweep's idle budget — kept distinct from the fold
+                # work below so "waiting on the pool" never masquerades
+                # as orchestration cost.
+                _PROFILER.push("pool.idle")
+                try:
+                    done, not_done = wait(not_done, timeout=budget,
+                                          return_when=FIRST_COMPLETED)
+                finally:
+                    _PROFILER.pop()
+            else:
+                done, not_done = wait(not_done, timeout=budget,
+                                      return_when=FIRST_COMPLETED)
             if not done:
                 # Watchdog: nothing landed inside the stall budget
                 # even though every unit carries a deadline — a worker
@@ -704,22 +743,24 @@ def run_cells(
                                 killed=killed, budget=budget,
                                 mode=mode)
                 continue
-            for future in done:
-                try:
-                    outcomes, meta = future.result()
-                except BaseException as exc:
-                    # Worker death: the chunk's results are gone; its
-                    # units stay unresolved for the next generation.
-                    broke = True
-                    if stream is not None:
-                        stream.emit("resilience.worker_crash",
-                                    mode=mode,
-                                    error_type=type(exc).__name__)
-                    continue
-                if meta is not None and _TELEMETRY.enabled:
-                    merge_meta(meta)
-                for pos, summaries, err in outcomes:
-                    resolve(pos, summaries, err)
+            with _PROFILER.phase("ipc.fold"):
+                for future in done:
+                    try:
+                        outcomes, meta = future.result()
+                    except BaseException as exc:
+                        # Worker death: the chunk's results are gone;
+                        # its units stay unresolved for the next
+                        # generation.
+                        broke = True
+                        if stream is not None:
+                            stream.emit("resilience.worker_crash",
+                                        mode=mode,
+                                        error_type=type(exc).__name__)
+                        continue
+                    if meta is not None:
+                        merge_meta(meta)
+                    for pos, summaries, err in outcomes:
+                        resolve(pos, summaries, err)
             if shutdown is not None and shutdown.requested:
                 # Draining: drop whatever has not started (their units
                 # stay unresolved, for the resumed run) but finish
@@ -770,9 +811,11 @@ def run_cells(
                     break
                 pool = WorkerPool.acquire(workers, spec)
                 try:
-                    future = pool.executor.submit(_run_chunk,
-                                                  [units[pos]])
-                    outcomes, meta = future.result(timeout=budget)
+                    with _PROFILER.phase("ipc.dispatch"):
+                        future = pool.executor.submit(_run_chunk,
+                                                      [units[pos]])
+                    with _PROFILER.phase("pool.idle"):
+                        outcomes, meta = future.result(timeout=budget)
                 except _FuturesTimeout:
                     killed = _kill_pool_workers(pool)
                     _TELEMETRY.inc("resilience.watchdog_kills")
@@ -791,7 +834,7 @@ def run_cells(
                                     error_type=type(exc).__name__)
                 else:
                     crashed = False
-                    if meta is not None and _TELEMETRY.enabled:
+                    if meta is not None:
                         merge_meta(meta)
                     for outcome in outcomes:
                         resolve(*outcome)
@@ -841,11 +884,12 @@ def run_cells(
         pool.fresh = False
         chunk_futures: dict[Any, int] = {}
         try:
-            for start, stop in plans:
-                positions = todo[start:stop]
-                chunk_futures[pool.executor.submit(
-                    _run_chunk,
-                    [units[p] for p in positions])] = positions[0]
+            with _PROFILER.phase("ipc.dispatch"):
+                for start, stop in plans:
+                    positions = todo[start:stop]
+                    chunk_futures[pool.executor.submit(
+                        _run_chunk,
+                        [units[p] for p in positions])] = positions[0]
         except BrokenProcessPool:
             broke = True  # pool died mid-submit; drain what went out
         if _TELEMETRY.enabled:
@@ -872,7 +916,7 @@ def run_cells(
             if best_err is not None and positions[0] > best_err[0]:
                 break
             outcomes, meta = _run_chunk([units[p] for p in positions])
-            if meta is not None and _TELEMETRY.enabled:
+            if meta is not None:
                 merge_meta(meta, inline=True)
             for pos, summaries, err in outcomes:
                 resolve(pos, summaries, err)

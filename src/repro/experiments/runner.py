@@ -66,6 +66,7 @@ from repro.sim.batch import (
     decide_batch,
     run_batch_suites,
 )
+from repro.profiling import PROFILER
 from repro.sim.engine import simulate
 from repro.sim.results import SimulationResult
 from repro.telemetry import TELEMETRY
@@ -390,6 +391,16 @@ class SweepCheckpointer:
         return SweepCell.from_payload(payload["cell"])
 
     def store(self, index: int, cell: SweepCell) -> None:
+        prof = PROFILER
+        if not prof.enabled:
+            return self._store(index, cell)
+        prof.push("supervision.checkpoint")
+        try:
+            return self._store(index, cell)
+        finally:
+            prof.pop()
+
+    def _store(self, index: int, cell: SweepCell) -> None:
         if self.degraded:
             return
         if cell.is_partial:
@@ -687,21 +698,27 @@ def sweep(
                     # Inside the deadline, so an injected hang is
                     # interruptible exactly like a real one.
                     _chaos.on_unit_start(float(x), seed)
-                    taskset, model = make_workload(float(x), seed)
+                    if PROFILER.enabled:
+                        with PROFILER.phase("unit.workload"):
+                            taskset, model = make_workload(float(x),
+                                                           seed)
+                    else:
+                        taskset, model = make_workload(float(x), seed)
                     processor = (processor_factory(float(x))
                                  if processor_factory
                                  else ideal_processor())
-                    suite = run_suite(
-                        taskset, policy_names, processor, model,
-                        horizon=horizon,
-                        overhead_aware=overhead_aware,
-                        allow_misses=allow_misses,
-                        policy_factory=(policy_factory(float(x))
-                                        if policy_factory else None),
-                        faults=(faults_factory(float(x), seed)
-                                if faults_factory else None),
-                        workload_seed=seed,
-                        audit=audit)
+                    with PROFILER.sample_unit():
+                        suite = run_suite(
+                            taskset, policy_names, processor, model,
+                            horizon=horizon,
+                            overhead_aware=overhead_aware,
+                            allow_misses=allow_misses,
+                            policy_factory=(policy_factory(float(x))
+                                            if policy_factory else None),
+                            faults=(faults_factory(float(x), seed)
+                                    if faults_factory else None),
+                            workload_seed=seed,
+                            audit=audit)
                 return suite.policy_summaries()
             except Exception as exc:
                 if isinstance(exc, UnitTimeoutError):
@@ -896,10 +913,26 @@ def sweep(
                             signal=shutdown.signal_number)
             stream.close(status=status, error=error)
 
+    # Profiling root: every phase frame this sweep opens — engine
+    # runs, slack walks, cache I/O, dispatch, idle — nests under
+    # ``sweep.execute``, whose self time is the orchestration
+    # residual.  Cut as a delta so co-resident sweeps stay separate,
+    # exactly like the telemetry registry below.
+    profile_before = PROFILER.snapshot() if PROFILER.enabled else None
+
+    def run_profiled() -> list[SweepCell]:
+        if not PROFILER.enabled:
+            return execute()
+        PROFILER.push("sweep.execute")
+        try:
+            return execute()
+        finally:
+            PROFILER.pop()
+
     if not TELEMETRY.enabled:
         try:
             with shutdown:
-                cells = execute()
+                cells = run_profiled()
         except SweepInterrupted as exc:
             finish_stream("interrupted", exc)
             raise
@@ -943,11 +976,12 @@ def sweep(
             workload_id=workload_id,
             unit_timeout=unit_timeout,
             on_failure=on_failure,
-            progress=(stream.summary() if stream is not None else None))
+            progress=(stream.summary() if stream is not None else None),
+            profile_before=profile_before)
 
     try:
         with shutdown, TELEMETRY.span("sweep.compute"):
-            cells = execute()
+            cells = run_profiled()
     except SweepInterrupted as exc:
         # The drain already checkpointed everything complete; close
         # the stream and flush the manifest too, so the interrupted
@@ -980,6 +1014,7 @@ def _write_sweep_manifest(
     unit_timeout: float | None = None,
     on_failure: str = "raise",
     progress: dict | None = None,
+    profile_before: dict | None = None,
 ) -> Path | None:
     """Write one run manifest for a completed sweep (telemetry on).
 
@@ -997,6 +1032,12 @@ def _write_sweep_manifest(
     delta = TELEMETRY.delta_since(before)
     counters = delta["counters"]
     label = workload_id or "sweep"
+    profile = None
+    if profile_before is not None and PROFILER.enabled:
+        from repro.profiling import report as _profile_report
+        profile = _profile_report.profile_block(
+            PROFILER.delta_since(profile_before),
+            timeline_dropped=PROFILER.timeline_dropped)
     manifest = RunManifest(
         label=label,
         fingerprint=fingerprint,
@@ -1034,6 +1075,7 @@ def _write_sweep_manifest(
             "violations": counters.get("audit.violations", 0),
         }),
         progress=progress,
+        profile=profile,
         git_rev=git_revision(),
     )
     path = manifest.write(next_manifest_path(directory, label))

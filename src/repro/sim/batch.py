@@ -56,6 +56,7 @@ from repro.cpu.processor import Processor
 from repro.cpu.speed import ContinuousScale
 from repro.cpu.transition import NoOverhead
 from repro.errors import ExperimentError
+from repro.profiling import PROFILER as _PROFILER
 from repro.types import DEADLINE_EPS, SPEED_EPS, TIME_EPS, WORK_EPS
 
 __all__ = [
@@ -215,6 +216,39 @@ class _Fallback(Exception):
 
 
 def run_batch_suites(
+    x: float,
+    seeds: Sequence[int],
+    *,
+    make_workload: Callable,
+    policy_names: Sequence[str],
+    processor: Processor,
+    horizon: float,
+    allow_misses: bool = False,
+):
+    """Profiling seam: ``engine.batch`` wraps the vectorized cell run.
+
+    Scalar fallback runs the batch engine triggers nest their own
+    ``engine.run`` frames inside this one; self-time accounting keeps
+    the two attributions disjoint.  See :func:`_run_batch_suites` for
+    the actual contract.
+    """
+    prof = _PROFILER
+    if not prof.enabled:
+        return _run_batch_suites(
+            x, seeds, make_workload=make_workload,
+            policy_names=policy_names, processor=processor,
+            horizon=horizon, allow_misses=allow_misses)
+    prof.push("engine.batch")
+    try:
+        return _run_batch_suites(
+            x, seeds, make_workload=make_workload,
+            policy_names=policy_names, processor=processor,
+            horizon=horizon, allow_misses=allow_misses)
+    finally:
+        prof.pop()
+
+
+def _run_batch_suites(
     x: float,
     seeds: Sequence[int],
     *,

@@ -33,6 +33,7 @@ from repro.sim.results import DeadlineMiss, SimulationResult, TaskStats
 from repro.sim.scheduler import EDFScheduler, Scheduler
 from repro.sim.tracing import TraceRecorder
 from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.profiling import PROFILER as _PROFILER
 from repro.tasks.arrivals import ArrivalModel, PeriodicArrival
 from repro.tasks.execution import ExecutionModel, WorstCaseExecution
 from repro.tasks.job import Job
@@ -274,6 +275,16 @@ class Simulator:
 
     def run(self) -> SimulationResult:
         """Execute the full simulation and return its result."""
+        prof = _PROFILER
+        if not prof.enabled:
+            return self._run()
+        prof.push("engine.run")
+        try:
+            return self._run()
+        finally:
+            prof.pop()
+
+    def _run(self) -> SimulationResult:
         self._reset()
         result = self._result
         assert result is not None
@@ -556,7 +567,14 @@ class Simulator:
         if job.first_dispatch_time is None:
             job.first_dispatch_time = self._now
         self._result.dispatches += 1
-        desired = self.policy.select_speed(job, self._ctx)
+        if _PROFILER.enabled:
+            _PROFILER.push("policy.decide")
+            try:
+                desired = self.policy.select_speed(job, self._ctx)
+            finally:
+                _PROFILER.pop()
+        else:
+            desired = self.policy.select_speed(job, self._ctx)
         if _TELEMETRY.enabled:
             self.policy.observe_decision(desired)
         speed = self._apply_speed(desired)

@@ -41,6 +41,7 @@ from repro.sim.results import DeadlineMiss
 from repro.sim.scheduler import EDFScheduler
 from repro.tasks.arrivals import PeriodicArrival
 from repro.tasks.job import Job
+from repro.profiling import PROFILER as _PROFILER
 from repro.telemetry import TELEMETRY as _TELEMETRY
 
 if TYPE_CHECKING:
@@ -247,7 +248,7 @@ def _build_namespace(sim: "Simulator") -> SimpleNamespace:
         task_stats=tuple(sim._result.task_stats[name] for name in names),
         next_release=sim._next_release, next_index=sim._next_index,
         # policy / model callbacks
-        select_speed=sim.policy.select_speed,
+        select_speed=_maybe_profiled(sim.policy.select_speed),
         on_release=sim.policy.on_release,
         on_completion=sim.policy.on_completion,
         observe=sim.policy.observe_decision,
@@ -291,6 +292,28 @@ def _build_namespace(sim: "Simulator") -> SimpleNamespace:
         release0=tuple(sim._next_release[name] for name in names),
         q_levels=tuple(float(level) for level in q_levels),
     )
+
+
+def _maybe_profiled(select_speed):
+    """Wrap the policy-decide callback in a profiling region.
+
+    The compiled core never goes through ``Simulator._dispatch``, so
+    the interpreted loop's ``policy.decide`` seam would vanish under
+    it; wrapping the callback the core calls back into keeps the
+    attribution identical on both engines.  With profiling off the
+    original bound method is handed over untouched — zero cost.
+    """
+    if not _PROFILER.enabled:
+        return select_speed
+
+    def profiled(job, ctx):
+        _PROFILER.push("policy.decide")
+        try:
+            return select_speed(job, ctx)
+        finally:
+            _PROFILER.pop()
+
+    return profiled
 
 
 def run_compiled(sim: "Simulator") -> bool:

@@ -41,7 +41,12 @@ from repro.errors import ExperimentError
 #:    cells, DESIGN.md §14), equal by construction to the stream's
 #:    ``sweep.done`` event; completed manifests are also offered to
 #:    the cross-run registry (:mod:`repro.telemetry.registry`).
-MANIFEST_SCHEMA = 4
+#: 5: added the ``profile`` block — the phase profiler's time budget
+#:    (compute/slack/policy/cache/ipc/idle/supervision attribution
+#:    summing to attributed wall time, per-phase self/total times,
+#:    sampling summary; DESIGN.md §15), present when the sweep ran
+#:    with ``repro.profiling`` enabled, ``null`` otherwise.
+MANIFEST_SCHEMA = 5
 
 
 def git_revision(repo_dir: str | Path | None = None) -> str:
@@ -70,6 +75,7 @@ class RunManifest:
     audit: dict | None = None
     resilience: dict | None = None
     progress: dict | None = None
+    profile: dict | None = None
     code_epoch: str = ""
     git_rev: str = ""
     created: str = ""
@@ -126,6 +132,7 @@ class RunManifest:
             "audit": self.audit,
             "resilience": self.resilience,
             "progress": self.progress,
+            "profile": self.profile,
         }
 
     def write(self, path: str | Path) -> Path:
@@ -174,6 +181,7 @@ class RunManifest:
             audit=payload.get("audit"),
             resilience=payload.get("resilience"),
             progress=payload.get("progress"),
+            profile=payload.get("profile"),
             code_epoch=str(payload.get("code_epoch", "")),
             git_rev=str(payload.get("git_rev", "")),
             created=str(payload.get("created", "")),
@@ -288,6 +296,22 @@ def render_manifest(manifest: RunManifest) -> str:
             f"cells {p.get('cells_done', 0)}/{p.get('cells', 0)}")
         if p.get("stream"):
             lines.append(f"    stream {p['stream']}")
+    if manifest.profile:
+        prof = manifest.profile
+        budget = prof.get("budget", {})
+        wall = prof.get("wall_s", 0.0) or 0.0
+        lines.append(f"  profile: attributed {wall:.3f}s")
+        for category, sec in sorted(budget.items(),
+                                    key=lambda kv: -kv[1]):
+            if sec <= 0.0:
+                continue
+            share = sec / wall if wall > 0 else 0.0
+            lines.append(f"    {category:<14} {sec:8.3f}s  {share:6.1%}")
+        sampling = prof.get("sampling")
+        if sampling:
+            lines.append(
+                f"    sampling       {sampling.get('samples', 0)} samples"
+                f" / {sampling.get('stacks', 0)} stacks")
     if manifest.counters:
         lines.append("  counters:")
         for name in sorted(manifest.counters):

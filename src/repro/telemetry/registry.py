@@ -108,6 +108,10 @@ class RunRecord:
     mean_speed: dict[str, float] = field(default_factory=dict)
     misses: dict[str, Any] = field(default_factory=dict)
     timings: dict[str, float] = field(default_factory=dict)
+    #: Projected ``profile`` block (schema-5 manifests): attributed
+    #: wall and the category budget, so ``repro runs compare`` can
+    #: show attribution deltas.  Additive — absent in older records.
+    profile: dict | None = None
     source: str = ""
     schema: int = REGISTRY_SCHEMA
 
@@ -132,6 +136,7 @@ class RunRecord:
             "mean_speed": self.mean_speed,
             "misses": self.misses,
             "timings": self.timings,
+            "profile": self.profile,
             "source": self.source,
         }
 
@@ -167,6 +172,7 @@ class RunRecord:
             misses=dict(payload.get("misses", {})),
             timings={k: float(v)
                      for k, v in payload.get("timings", {}).items()},
+            profile=payload.get("profile"),
             source=str(payload.get("source", "")),
             schema=schema,
         )
@@ -215,6 +221,10 @@ def record_from_manifest(manifest: RunManifest,
         mean_speed=mean_speed,
         misses={"engine.misses": manifest.counters.get(
             "engine.misses", 0)},
+        profile=({"wall_s": manifest.profile.get("wall_s"),
+                  "parent_wall_s": manifest.profile.get("parent_wall_s"),
+                  "budget": dict(manifest.profile.get("budget", {}))}
+                 if manifest.profile else None),
         source=str(path) if path is not None else "",
     )
 
@@ -425,6 +435,18 @@ def compare_records(a: RunRecord, b: RunRecord) -> dict:
         vb = (b.progress or {}).get(name)
         if va is not None or vb is not None:
             progress[name] = {"a": va, "b": vb}
+    profile = {}
+    budget_a = (a.profile or {}).get("budget", {})
+    budget_b = (b.profile or {}).get("budget", {})
+    for name in sorted(set(budget_a) | set(budget_b)):
+        entry = delta(budget_a.get(name), budget_b.get(name))
+        if entry is not None and (entry["a"] or entry["b"]):
+            profile[name] = entry
+    if a.profile or b.profile:
+        entry = delta((a.profile or {}).get("wall_s"),
+                      (b.profile or {}).get("wall_s"))
+        if entry is not None:
+            profile["attributed_wall_s"] = entry
     return {
         "a": a.run_id,
         "b": b.run_id,
@@ -437,6 +459,7 @@ def compare_records(a: RunRecord, b: RunRecord) -> dict:
         "counters": counters,
         "mean_speed": speeds,
         "timings": timings,
+        "profile": profile,
     }
 
 
@@ -503,6 +526,15 @@ def render_record(record: RunRecord) -> str:
         rendered = "  ".join(f"{name}={value:.4f}" for name, value
                              in sorted(record.mean_speed.items()))
         lines.append(f"  mean dispatch speed: {rendered}")
+    if record.profile:
+        budget = record.profile.get("budget", {})
+        top = [f"{name}={sec:.2f}s" for name, sec
+               in sorted(budget.items(), key=lambda kv: -kv[1])[:3]
+               if sec]
+        lines.append(
+            f"  profile    attributed "
+            f"{record.profile.get('wall_s') or 0.0:.3f}s"
+            + (f"  ({'  '.join(top)})" if top else ""))
     if record.counters:
         lines.append("  counters:")
         for name in sorted(record.counters):
@@ -548,6 +580,8 @@ def render_compare(diff: Mapping) -> str:
         show(f"speed.{name}", entry, "{:.4f}")
     for name, entry in diff["timings"].items():
         show(name, entry, "{:.6f}")
+    for name, entry in diff.get("profile", {}).items():
+        show(f"profile.{name}", entry)
     if len(lines) == 2:
         lines.append("  no differences in the compared summaries")
     return "\n".join(lines)

@@ -316,4 +316,4 @@ class TestStatsRenderer:
         loaded = RunManifest.load(
             manifest.write(tmp_path / "manifest_rt_001.json"))
         assert loaded.audit == {"every": 3, "violations": 1}
-        assert loaded.schema == 4
+        assert loaded.schema == 5
